@@ -1,0 +1,152 @@
+//! AWS instance pricing (Table 2) and the $/epoch arithmetic of the evaluation.
+
+use std::time::Duration;
+
+/// The AWS P3 GPU instances used throughout the paper's experiments (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AwsInstance {
+    /// P3.2xLarge: 1 GPU, 8 vCPUs, 61 GB RAM, $3.06/hr.
+    P3_2xLarge,
+    /// P3.8xLarge: 4 GPUs, 32 vCPUs, 244 GB RAM, $12.24/hr.
+    P3_8xLarge,
+    /// P3.16xLarge: 8 GPUs, 64 vCPUs, 488 GB RAM, $24.48/hr.
+    P3_16xLarge,
+}
+
+impl AwsInstance {
+    /// Hourly on-demand price in dollars (Table 2).
+    pub fn price_per_hour(&self) -> f64 {
+        match self {
+            AwsInstance::P3_2xLarge => 3.06,
+            AwsInstance::P3_8xLarge => 12.24,
+            AwsInstance::P3_16xLarge => 24.48,
+        }
+    }
+
+    /// Number of GPUs.
+    pub fn gpus(&self) -> u32 {
+        match self {
+            AwsInstance::P3_2xLarge => 1,
+            AwsInstance::P3_8xLarge => 4,
+            AwsInstance::P3_16xLarge => 8,
+        }
+    }
+
+    /// CPU memory in bytes.
+    pub fn cpu_memory_bytes(&self) -> u64 {
+        match self {
+            AwsInstance::P3_2xLarge => 61_000_000_000,
+            AwsInstance::P3_8xLarge => 244_000_000_000,
+            AwsInstance::P3_16xLarge => 488_000_000_000,
+        }
+    }
+
+    /// Number of vCPUs.
+    pub fn vcpus(&self) -> u32 {
+        match self {
+            AwsInstance::P3_2xLarge => 8,
+            AwsInstance::P3_8xLarge => 32,
+            AwsInstance::P3_16xLarge => 64,
+        }
+    }
+
+    /// Short display name used in experiment reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AwsInstance::P3_2xLarge => "P3.2xLarge",
+            AwsInstance::P3_8xLarge => "P3.8xLarge",
+            AwsInstance::P3_16xLarge => "P3.16xLarge",
+        }
+    }
+
+    /// The cheapest instance whose CPU memory can hold `bytes` of graph data —
+    /// how the paper picks the machine for each in-memory baseline (§7.1).
+    pub fn cheapest_with_memory(bytes: u64) -> Option<AwsInstance> {
+        [
+            AwsInstance::P3_2xLarge,
+            AwsInstance::P3_8xLarge,
+            AwsInstance::P3_16xLarge,
+        ]
+        .into_iter()
+        .find(|i| i.cpu_memory_bytes() >= bytes)
+    }
+}
+
+/// Dollar-cost bookkeeping for experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostModel;
+
+impl CostModel {
+    /// Cost in dollars of running `instance` for `duration`.
+    pub fn cost(instance: AwsInstance, duration: Duration) -> f64 {
+        instance.price_per_hour() * duration.as_secs_f64() / 3600.0
+    }
+
+    /// Cost per epoch given an epoch duration.
+    pub fn cost_per_epoch(instance: AwsInstance, epoch: Duration) -> f64 {
+        Self::cost(instance, epoch)
+    }
+
+    /// Relative cost reduction of `ours` versus `baseline` (e.g. "64× cheaper").
+    pub fn cost_reduction(baseline: f64, ours: f64) -> f64 {
+        if ours <= 0.0 {
+            f64::INFINITY
+        } else {
+            baseline / ours
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_prices_and_specs() {
+        assert_eq!(AwsInstance::P3_2xLarge.price_per_hour(), 3.06);
+        assert_eq!(AwsInstance::P3_8xLarge.price_per_hour(), 12.24);
+        assert_eq!(AwsInstance::P3_16xLarge.price_per_hour(), 24.48);
+        assert_eq!(AwsInstance::P3_16xLarge.gpus(), 8);
+        assert_eq!(AwsInstance::P3_8xLarge.vcpus(), 32);
+        assert_eq!(AwsInstance::P3_2xLarge.name(), "P3.2xLarge");
+    }
+
+    /// The paper's placement: Papers100M (70 GB) needs a P3.8xLarge,
+    /// Mag240M-Cites (385 GB) needs a P3.16xLarge, and nothing in Table 1 fits on
+    /// the P3.2xLarge.
+    #[test]
+    fn instance_selection_matches_paper() {
+        assert_eq!(
+            AwsInstance::cheapest_with_memory(70_000_000_000),
+            Some(AwsInstance::P3_8xLarge)
+        );
+        assert_eq!(
+            AwsInstance::cheapest_with_memory(385_000_000_000),
+            Some(AwsInstance::P3_16xLarge)
+        );
+        assert_eq!(
+            AwsInstance::cheapest_with_memory(40_000_000_000),
+            Some(AwsInstance::P3_2xLarge)
+        );
+        assert_eq!(AwsInstance::cheapest_with_memory(600_000_000_000), None);
+    }
+
+    #[test]
+    fn cost_per_epoch_arithmetic() {
+        // Table 3: M-GNN_Disk on Papers100M takes 0.83 min/epoch on a P3.2xLarge
+        // at ~$0.04 per epoch.
+        let epoch = Duration::from_secs_f64(0.83 * 60.0);
+        let cost = CostModel::cost_per_epoch(AwsInstance::P3_2xLarge, epoch);
+        assert!((cost - 0.042).abs() < 0.005);
+        // Table 4: DGL on WikiKG90Mv2 takes 844 min/epoch on a P3.8xLarge at ~$172.
+        let epoch = Duration::from_secs_f64(844.0 * 60.0);
+        let cost = CostModel::cost_per_epoch(AwsInstance::P3_8xLarge, epoch);
+        assert!((cost - 172.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn cost_reduction_ratio() {
+        assert_eq!(CostModel::cost_reduction(64.0, 1.0), 64.0);
+        assert!(CostModel::cost_reduction(1.0, 0.0).is_infinite());
+    }
+}

@@ -1,0 +1,26 @@
+//! Baseline systems the paper compares MariusGNN against.
+//!
+//! * [`layerwise`] — a DGL/PyG-style mini-batch constructor that re-samples
+//!   one-hop neighbourhoods **independently per GNN layer** (the redundancy
+//!   Figure 1 illustrates). It produces per-layer [`marius_gnn::LayerContext`]s
+//!   so the exact same GNN layers can execute on it, which is how the Table 6
+//!   comparisons (sampling time, compute time, nodes/edges sampled) are
+//!   regenerated with everything else held equal.
+//! * [`nextdoor`] — a cost model of NextDoor's optimised GPU sampling kernels
+//!   (low per-sample constant, no cross-layer reuse, graph must fit in GPU
+//!   memory), used for Table 7.
+//! * [`scaling`] — the multi-GPU scaling efficiencies the paper measured for DGL
+//!   and PyG, used to extrapolate single-GPU measurements to the 4-/8-GPU
+//!   baselines of Tables 3 and 4.
+//! * [`cost`] — AWS P3 instance pricing (Table 2) and the $/epoch arithmetic used
+//!   throughout the evaluation.
+
+pub mod cost;
+pub mod layerwise;
+pub mod nextdoor;
+pub mod scaling;
+
+pub use cost::{AwsInstance, CostModel};
+pub use layerwise::{LayerwiseSample, LayerwiseSampler};
+pub use nextdoor::NextDoorModel;
+pub use scaling::MultiGpuScaling;

@@ -1,0 +1,137 @@
+//! Multi-GPU scaling efficiencies measured by the paper for the baseline systems.
+//!
+//! The paper reports that the baselines under-utilise additional GPUs: DGL's
+//! four-GPU training on Papers100M is only 1.4× faster than single-GPU, PyG's is
+//! 1.1×, and DGL's eight-GPU training on Mag240M-Cites is 2.2× faster (§1, §7.2).
+//! This reproduction runs every system single-threaded, so the end-to-end
+//! benchmark harnesses use these measured scaling factors to extrapolate a
+//! baseline's single-GPU epoch time to its multi-GPU configuration — exactly the
+//! quantity the paper's Tables 3 and 4 tabulate.
+
+use std::time::Duration;
+
+/// Which baseline system a scaling factor applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineSystem {
+    /// Deep Graph Library.
+    Dgl,
+    /// PyTorch Geometric.
+    Pyg,
+}
+
+/// Measured multi-GPU speedups for the baseline systems.
+#[derive(Debug, Clone)]
+pub struct MultiGpuScaling {
+    entries: Vec<(BaselineSystem, u32, f64)>,
+}
+
+impl MultiGpuScaling {
+    /// The speedups reported in the paper (§1 and §7.2).
+    pub fn from_paper() -> Self {
+        MultiGpuScaling {
+            entries: vec![
+                (BaselineSystem::Dgl, 1, 1.0),
+                (BaselineSystem::Dgl, 4, 1.4),
+                (BaselineSystem::Dgl, 8, 2.2),
+                (BaselineSystem::Pyg, 1, 1.0),
+                (BaselineSystem::Pyg, 4, 1.1),
+                // PyG multi-GPU link prediction/large graphs fall back to one GPU
+                // in the paper; 8-GPU PyG is extrapolated from its 4-GPU trend.
+                (BaselineSystem::Pyg, 8, 1.2),
+            ],
+        }
+    }
+
+    /// Speedup of `system` when using `gpus` GPUs relative to one GPU.
+    /// Unknown GPU counts interpolate between the nearest known entries.
+    pub fn speedup(&self, system: BaselineSystem, gpus: u32) -> f64 {
+        let mut known: Vec<(u32, f64)> = self
+            .entries
+            .iter()
+            .filter(|(s, _, _)| *s == system)
+            .map(|(_, g, f)| (*g, *f))
+            .collect();
+        known.sort_by_key(|(g, _)| *g);
+        if known.is_empty() {
+            return 1.0;
+        }
+        if let Some(&(_, f)) = known.iter().find(|(g, _)| *g == gpus) {
+            return f;
+        }
+        // Linear interpolation / clamping.
+        if gpus <= known[0].0 {
+            return known[0].1;
+        }
+        if gpus >= known[known.len() - 1].0 {
+            return known[known.len() - 1].1;
+        }
+        for w in known.windows(2) {
+            let (g0, f0) = w[0];
+            let (g1, f1) = w[1];
+            if gpus > g0 && gpus < g1 {
+                let t = (gpus - g0) as f64 / (g1 - g0) as f64;
+                return f0 + t * (f1 - f0);
+            }
+        }
+        1.0
+    }
+
+    /// Parallel efficiency (`speedup / gpus`), the utilisation number the paper
+    /// uses to argue that multi-GPU baselines waste allocated hardware.
+    pub fn efficiency(&self, system: BaselineSystem, gpus: u32) -> f64 {
+        self.speedup(system, gpus) / gpus as f64
+    }
+
+    /// Extrapolated multi-GPU epoch time from a measured single-GPU epoch time.
+    pub fn scaled_epoch_time(
+        &self,
+        system: BaselineSystem,
+        gpus: u32,
+        single_gpu_epoch: Duration,
+    ) -> Duration {
+        single_gpu_epoch.div_f64(self.speedup(system, gpus).max(1e-9))
+    }
+}
+
+impl Default for MultiGpuScaling {
+    fn default() -> Self {
+        MultiGpuScaling::from_paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reported_speedups() {
+        let s = MultiGpuScaling::from_paper();
+        assert_eq!(s.speedup(BaselineSystem::Dgl, 4), 1.4);
+        assert_eq!(s.speedup(BaselineSystem::Dgl, 8), 2.2);
+        assert_eq!(s.speedup(BaselineSystem::Pyg, 4), 1.1);
+        assert_eq!(s.speedup(BaselineSystem::Dgl, 1), 1.0);
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let s = MultiGpuScaling::from_paper();
+        let mid = s.speedup(BaselineSystem::Dgl, 6);
+        assert!(mid > 1.4 && mid < 2.2);
+        assert_eq!(s.speedup(BaselineSystem::Dgl, 16), 2.2);
+        assert_eq!(s.speedup(BaselineSystem::Pyg, 0), 1.0);
+    }
+
+    #[test]
+    fn efficiency_degrades_with_more_gpus() {
+        let s = MultiGpuScaling::from_paper();
+        assert!(s.efficiency(BaselineSystem::Dgl, 8) < s.efficiency(BaselineSystem::Dgl, 4));
+        assert!(s.efficiency(BaselineSystem::Dgl, 8) < 0.3);
+    }
+
+    #[test]
+    fn scaled_epoch_time_divides_by_speedup() {
+        let s = MultiGpuScaling::from_paper();
+        let t = s.scaled_epoch_time(BaselineSystem::Dgl, 4, Duration::from_secs(140));
+        assert_eq!(t, Duration::from_secs(100));
+    }
+}

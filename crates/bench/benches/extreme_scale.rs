@@ -1,0 +1,61 @@
+//! §7.3: extreme-scale training of the Common Crawl 2012 hyperlink graph with a
+//! single "GPU" and a small buffer.
+//!
+//! The full graph (3.5B nodes, 128B edges) cannot be synthesised on a laptop;
+//! instead this harness trains on a hyperlink-shaped sample, measures the
+//! sustained training throughput (edges/second) of the out-of-core pipeline, and
+//! extrapolates the cost of one epoch over the full 128B-edge graph at the
+//! paper's P3.2xLarge price — the same extrapolated quantity the paper reports
+//! ($564/epoch at 194k edges/sec).
+
+use marius_baselines::{AwsInstance, CostModel};
+use marius_bench::header;
+use marius_core::{DiskConfig, LinkPredictionTrainer, ModelConfig, TrainConfig};
+use marius_graph::datasets::{DatasetSpec, ScaledDataset};
+use std::time::Duration;
+
+fn main() {
+    header("Extreme scale (§7.3): hyperlink-graph throughput and $/epoch extrapolation");
+    let spec = DatasetSpec::hyperlink2012().scaled(0.0000002);
+    let data = ScaledDataset::generate(&spec, 99);
+    println!(
+        "sampled workload: {} nodes, {} edges (full graph: 3.5B nodes, 128B edges)\n",
+        data.num_nodes(),
+        data.num_edges()
+    );
+
+    // GraphSage with 10 neighbours, DistMult, dimension 50, shared negatives.
+    let mut model = ModelConfig::paper_link_prediction_graphsage(50);
+    model.fanouts = vec![10];
+    let mut train = TrainConfig::quick(1, 99);
+    train.batch_size = 1000;
+    train.num_negatives = 100;
+    train.eval_negatives = 100;
+    let trainer = LinkPredictionTrainer::new(model, train);
+
+    let report = trainer.train_disk(&data, &DiskConfig::comet(8, 4));
+    let epoch = &report.epochs[0];
+    let throughput = epoch.examples as f64 / epoch.epoch_time.as_secs_f64().max(1e-9);
+    println!(
+        "measured training throughput: {:.0} edges/sec ({} edges in {:.1}s, MRR {:.3})",
+        throughput,
+        epoch.examples,
+        epoch.epoch_time.as_secs_f64(),
+        epoch.metric
+    );
+
+    let full_edges = 128_000_000_000f64;
+    let full_epoch = Duration::from_secs_f64(full_edges / throughput.max(1.0));
+    let cost = CostModel::cost_per_epoch(AwsInstance::P3_2xLarge, full_epoch);
+    println!(
+        "extrapolated full-graph epoch on a P3.2xLarge: {:.1} hours, ${:.0}/epoch",
+        full_epoch.as_secs_f64() / 3600.0,
+        cost
+    );
+    println!(
+        "\nPaper reference (§7.3): 194k edges/sec sustained on one GPU + 60 GB RAM + SSD,\n\
+         $564 per epoch over the full 128B-edge hyperlink graph. (A CPU-only reproduction\n\
+         is far slower in absolute terms; the deliverable is the same cost arithmetic over\n\
+         the measured throughput of the identical out-of-core pipeline.)"
+    );
+}

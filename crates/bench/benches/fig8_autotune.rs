@@ -1,0 +1,75 @@
+//! Figure 8: COMET hyper-parameter auto-tuning versus a grid search.
+//!
+//! Runs disk-based GraphSage link prediction for a grid of (physical partitions,
+//! buffer capacity) configurations and for the configuration chosen by the §6
+//! auto-tuning rules (scaled to the experiment's synthetic "CPU budget"), and
+//! prints (epoch time, MRR) pairs — the scatter of Figure 8.
+
+use marius_bench::{header, seconds};
+use marius_core::{DiskConfig, LinkPredictionTrainer, ModelConfig, TrainConfig};
+use marius_graph::datasets::{DatasetSpec, ScaledDataset};
+use marius_storage::auto_tune;
+
+fn main() {
+    header("Figure 8: auto-tuning vs grid search (GraphSage, FB15k-237-scaled)");
+    let spec = DatasetSpec::fb15k_237().scaled(0.04);
+    let data = ScaledDataset::generate(&spec, 81);
+    println!(
+        "dataset: {} nodes, {} train edges\n",
+        data.num_nodes(),
+        data.train_edges.len()
+    );
+
+    let dim = 24usize;
+    let model = ModelConfig::paper_link_prediction_graphsage(dim).shrunk(10, dim);
+    let mut train = TrainConfig::quick(2, 81);
+    train.batch_size = 512;
+    train.num_negatives = 64;
+    train.eval_negatives = 128;
+    let trainer = LinkPredictionTrainer::new(model, train);
+
+    // Synthetic capacity budget: pretend the machine can hold ~40% of the
+    // embedding table, mirroring the paper's buffer = 1/4..1/2 regimes.
+    let node_bytes = data.num_nodes() * dim as u64 * 8;
+    let edge_bytes = data.train_edges.len() as u64 * 20;
+    let cpu_budget = (node_bytes as f64 * 0.4) as u64 + edge_bytes;
+    let tuned = auto_tune(
+        data.num_nodes(),
+        dim,
+        data.train_edges.len() as u64,
+        20,
+        cpu_budget,
+        4 * 1024,
+        node_bytes / 20,
+        true,
+    );
+    println!(
+        "auto-tuned configuration: p = {}, l = {}, c = {}\n",
+        tuned.physical_partitions, tuned.logical_partitions, tuned.buffer_capacity
+    );
+
+    println!("{:<24} {:>12} {:>8}", "configuration", "epoch (s)", "MRR");
+    let grid = vec![(8u32, 2usize), (8, 4), (16, 4), (16, 8), (32, 8)];
+    for (p, c) in grid {
+        let report = trainer.train_disk(&data, &DiskConfig::comet(p, c));
+        println!(
+            "{:<24} {:>12} {:>8.4}",
+            format!("grid p={p} c={c}"),
+            seconds(report.avg_epoch_time()),
+            report.final_metric()
+        );
+    }
+    let p = tuned.physical_partitions.max(4);
+    let c = tuned.buffer_capacity.clamp(2, p as usize);
+    let report = trainer.train_disk(&data, &DiskConfig::comet(p, c));
+    println!(
+        "{:<24} {:>12} {:>8.4}",
+        format!("AUTO-TUNED p={p} c={c}"),
+        seconds(report.avg_epoch_time()),
+        report.final_metric()
+    );
+    println!(
+        "\nPaper reference (Figure 8): the auto-tuned configuration sits on the Pareto\n\
+         frontier of the grid search — near-best MRR at near-best epoch time."
+    );
+}

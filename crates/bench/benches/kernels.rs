@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the kernels behind the paper's performance
+//! claims: dense segment aggregation (Algorithm 3), gather/scatter, GEMM, and
+//! DENSE versus layer-wise multi-hop sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marius_baselines::LayerwiseSampler;
+use marius_graph::datasets::{DatasetSpec, ScaledDataset};
+use marius_graph::InMemorySubgraph;
+use marius_sampling::{MultiHopSampler, SamplingDirection};
+use marius_tensor::segment::{index_select, segment_sum};
+use marius_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dense_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let h = marius_tensor::uniform_init(&mut rng, 4096, 64, 1.0);
+    let indices: Vec<usize> = (0..16_384).map(|i| (i * 37) % 4096).collect();
+    let offsets: Vec<usize> = (0..2048).map(|i| i * 8).collect();
+
+    c.bench_function("index_select 16k rows", |b| {
+        b.iter(|| index_select(&h, &indices).unwrap())
+    });
+    let gathered = index_select(&h, &indices).unwrap();
+    c.bench_function("segment_sum 2k segments", |b| {
+        b.iter(|| segment_sum(&gathered, &offsets).unwrap())
+    });
+    let a = marius_tensor::uniform_init(&mut rng, 256, 64, 1.0);
+    let w = marius_tensor::uniform_init(&mut rng, 64, 64, 1.0);
+    c.bench_function("gemm 256x64x64", |b| b.iter(|| a.matmul(&w)));
+    c.bench_function("softmax rows 256x64", |b| {
+        b.iter(|| Tensor::softmax_rows(&a))
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let data = ScaledDataset::generate(&DatasetSpec::livejournal().scaled(0.001), 3);
+    let subgraph = InMemorySubgraph::from_edges(data.graph.edges());
+    let targets: Vec<u64> = (0..256).collect();
+
+    let mut group = c.benchmark_group("multi_hop_sampling");
+    for layers in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("dense", layers), &layers, |b, &layers| {
+            let sampler = MultiHopSampler::new(vec![10; layers], SamplingDirection::Incoming);
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| sampler.sample(&subgraph, &targets, &mut rng))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("layerwise", layers),
+            &layers,
+            |b, &layers| {
+                let sampler = LayerwiseSampler::new(vec![10; layers], SamplingDirection::Incoming);
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| sampler.sample(&subgraph, &targets, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dense_kernels, bench_sampling
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table 1: storage overheads of the large-scale graphs.
+//!
+//! Prints the node/edge counts, feature dimension, and the edge / feature /
+//! total storage (GB) for every dataset in the paper's Table 1, plus whether it
+//! fits in the CPU memory of each AWS P3 instance.
+
+use marius_baselines::AwsInstance;
+use marius_bench::header;
+use marius_graph::datasets::DatasetSpec;
+
+fn main() {
+    header("Table 1: dataset storage overheads");
+    println!(
+        "{:<16} {:>12} {:>14} {:>5} | {:>9} {:>9} {:>9} | fits on",
+        "graph", "nodes", "edges", "dim", "edges GB", "feat GB", "total GB"
+    );
+    for spec in DatasetSpec::table1() {
+        let fits: Vec<&str> = [
+            AwsInstance::P3_2xLarge,
+            AwsInstance::P3_8xLarge,
+            AwsInstance::P3_16xLarge,
+        ]
+        .iter()
+        .filter(|i| spec.fits_in_memory(i.cpu_memory_bytes()))
+        .map(|i| i.name())
+        .collect();
+        println!(
+            "{:<16} {:>12} {:>14} {:>5} | {:>9.1} {:>9.1} {:>9.1} | {}",
+            spec.name,
+            spec.num_nodes,
+            spec.num_edges,
+            spec.feat_dim,
+            spec.edge_storage_gb(),
+            spec.feature_storage_gb(),
+            spec.total_storage_gb(),
+            if fits.is_empty() {
+                "disk only (16 TB SSD)".to_string()
+            } else {
+                fits.join(", ")
+            }
+        );
+    }
+    println!(
+        "\nPaper reference (Table 1): Papers100M 13/57/70 GB, Mag240M-Cites 10/375/385 GB,\n\
+         Freebase86M 4/69/73 GB, WikiKG90Mv2 7/73/80 GB, Hyperlink-2012 2k/1.4k/3.4k GB."
+    );
+}

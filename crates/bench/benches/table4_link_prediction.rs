@@ -1,0 +1,128 @@
+//! Table 4 (and the right panel of Figure 7): link prediction on Freebase86M-
+//! and WikiKG90Mv2-shaped graphs — epoch time, MRR and $/epoch for MariusGNN
+//! in-memory, MariusGNN disk-based (COMET), and DGL/PyG-style baselines.
+//!
+//! Baselines run single-GPU for this task (as in the paper); the DGL row uses
+//! five times fewer negatives, which is what lowers its MRR in the paper. Its
+//! epoch time comes from the measured layer-wise pipeline cost.
+
+use marius_baselines::scaling::BaselineSystem;
+use marius_baselines::{AwsInstance, CostModel};
+use marius_bench::{baseline_epoch_time, header, measure_baseline_batch, minutes};
+use marius_core::models::build_encoder;
+use marius_core::{DiskConfig, LinkPredictionTrainer, ModelConfig, TrainConfig};
+use marius_graph::datasets::{DatasetSpec, ScaledDataset};
+use marius_graph::InMemorySubgraph;
+
+fn main() {
+    header("Table 4: link prediction (GraphSage + DistMult) — epoch time, MRR, $/epoch");
+    let datasets = vec![
+        (
+            "Freebase86M-scaled",
+            DatasetSpec::freebase86m().scaled(0.00001),
+        ),
+        (
+            "WikiKG90Mv2-scaled",
+            DatasetSpec::wikikg90mv2().scaled(0.00001),
+        ),
+    ];
+
+    for (label, spec) in datasets {
+        let data = ScaledDataset::generate(&spec, 44);
+        println!(
+            "\n--- {} ({} nodes, {} edges, {} relations) ---",
+            label,
+            data.num_nodes(),
+            data.num_edges(),
+            spec.num_relations
+        );
+
+        let model = ModelConfig::paper_link_prediction_graphsage(32).shrunk(10, 32);
+        let mut train = TrainConfig::quick(3, 44);
+        train.batch_size = 512;
+        train.num_negatives = 100;
+        train.eval_negatives = 200;
+        let trainer = LinkPredictionTrainer::new(model.clone(), train.clone());
+
+        let mem = trainer.train_in_memory(&data);
+        let disk = trainer.train_disk(&data, &DiskConfig::comet(8, 4));
+
+        // DGL uses 5x fewer negatives (paper §7.1): train a separate in-memory
+        // run with that handicap to obtain its MRR.
+        let mut dgl_train = train.clone();
+        dgl_train.num_negatives = train.num_negatives / 5;
+        let dgl_quality =
+            LinkPredictionTrainer::new(model.clone(), dgl_train).train_in_memory(&data);
+
+        // Baseline epoch time from the layer-wise pipeline cost (single GPU).
+        let subgraph = InMemorySubgraph::from_edges(&data.train_edges);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(45);
+        let encoder = build_encoder(&model, &mut rng);
+        let batches = data.train_edges.len().div_ceil(512);
+        let cost =
+            measure_baseline_batch(&model, &encoder, &subgraph, data.num_nodes(), 512, 2, 46);
+        let dgl_epoch = baseline_epoch_time(&cost, batches, BaselineSystem::Dgl, 1);
+        let pyg_epoch = baseline_epoch_time(&cost, batches, BaselineSystem::Pyg, 1);
+
+        println!(
+            "{:<28} {:>12} {:>8} {:>12}",
+            "system", "epoch (min)", "MRR", "$/epoch"
+        );
+        let print_row = |name: &str, epoch: std::time::Duration, mrr: f64, inst: AwsInstance| {
+            println!(
+                "{:<28} {:>12} {:>8.4} {:>12.4}",
+                name,
+                minutes(epoch),
+                mrr,
+                CostModel::cost_per_epoch(inst, epoch)
+            );
+        };
+        print_row(
+            "M-GNN_Mem (1 GPU)",
+            mem.avg_epoch_time(),
+            mem.final_metric(),
+            AwsInstance::P3_8xLarge,
+        );
+        print_row(
+            "M-GNN_Disk (COMET, 1 GPU)",
+            disk.avg_epoch_time(),
+            disk.final_metric(),
+            AwsInstance::P3_2xLarge,
+        );
+        print_row(
+            "DGL (1 GPU, 5x fewer negs)",
+            dgl_epoch,
+            dgl_quality.final_metric(),
+            AwsInstance::P3_8xLarge,
+        );
+        print_row(
+            "PyG (1 GPU)",
+            pyg_epoch,
+            mem.final_metric(),
+            AwsInstance::P3_8xLarge,
+        );
+        println!(
+            "speedup vs best baseline: {:.1}x",
+            dgl_epoch.min(pyg_epoch).as_secs_f64() / mem.avg_epoch_time().as_secs_f64().max(1e-9)
+        );
+
+        println!("\nFigure 7 (right) — time-to-MRR series (cumulative minutes, MRR):");
+        let mut elapsed = std::time::Duration::ZERO;
+        for e in &mem.epochs {
+            elapsed += e.epoch_time;
+            print!(" M-GNN({}, {:.3})", minutes(elapsed), e.metric);
+        }
+        println!();
+        let mut elapsed = std::time::Duration::ZERO;
+        for e in &dgl_quality.epochs {
+            elapsed += dgl_epoch;
+            print!(" DGL({}, {:.3})", minutes(elapsed), e.metric);
+        }
+        println!();
+    }
+    println!(
+        "\nPaper reference (Table 4): M-GNN_Mem 6-7x faster than the best baseline with\n\
+         comparable MRR (DGL lower due to fewer negatives); disk-based COMET training is\n\
+         1.9-4.5x faster than baselines at 7.5-18x lower cost."
+    );
+}

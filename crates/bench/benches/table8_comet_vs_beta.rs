@@ -1,0 +1,69 @@
+//! Table 8: COMET versus BETA for disk-based link prediction, across DistMult,
+//! GraphSage and GAT on an FB15k-237-shaped graph, with the in-memory MRR as the
+//! quality reference. A buffer holding one quarter of the partitions is used, as
+//! in the paper.
+
+use marius_bench::{header, seconds};
+use marius_core::{DiskConfig, LinkPredictionTrainer, ModelConfig, TrainConfig};
+use marius_graph::datasets::{DatasetSpec, ScaledDataset};
+
+fn main() {
+    header("Table 8: COMET vs BETA disk-based link prediction (buffer = 1/4 of partitions)");
+    let spec = DatasetSpec::fb15k_237().scaled(0.06);
+    let data = ScaledDataset::generate(&spec, 88);
+    println!(
+        "dataset: {} nodes, {} train edges, {} relations\n",
+        data.num_nodes(),
+        data.train_edges.len(),
+        spec.num_relations
+    );
+
+    let partitions = 16u32;
+    let capacity = 4usize;
+    let mut train = TrainConfig::quick(5, 88);
+    train.batch_size = 256;
+    train.num_negatives = 64;
+    train.eval_negatives = 128;
+
+    let models = vec![
+        ("DistMult", ModelConfig::paper_distmult(24)),
+        (
+            "GraphSage",
+            ModelConfig::paper_link_prediction_graphsage(24).shrunk(10, 24),
+        ),
+        (
+            "GAT",
+            ModelConfig::paper_link_prediction_gat(24).shrunk(8, 24),
+        ),
+    ];
+
+    println!(
+        "{:<10} {:>9} | {:>11} {:>11} | {:>13} {:>13}",
+        "model", "Mem MRR", "COMET MRR", "BETA MRR", "COMET ep(s)", "BETA ep(s)"
+    );
+    let mut comet_wins = 0usize;
+    for (name, model) in models {
+        let trainer = LinkPredictionTrainer::new(model, train.clone());
+        let mem = trainer.train_in_memory(&data);
+        let comet = trainer.train_disk(&data, &DiskConfig::comet(partitions, capacity));
+        let beta = trainer.train_disk(&data, &DiskConfig::beta(partitions, capacity));
+        if comet.final_metric() >= beta.final_metric() {
+            comet_wins += 1;
+        }
+        println!(
+            "{:<10} {:>9.4} | {:>11.4} {:>11.4} | {:>13} {:>13}",
+            name,
+            mem.final_metric(),
+            comet.final_metric(),
+            beta.final_metric(),
+            seconds(comet.avg_epoch_time()),
+            seconds(beta.avg_epoch_time())
+        );
+    }
+    println!("\nCOMET matched or beat BETA's MRR on {comet_wins}/3 model configurations.");
+    println!(
+        "Paper reference (Table 8): COMET achieves higher MRR than BETA for 7 of 8\n\
+         model/dataset combinations (closing up to 80% of the gap to in-memory MRR)\n\
+         while training 5-28% faster per epoch."
+    );
+}

@@ -1,0 +1,273 @@
+//! Model, training and disk-storage configuration.
+
+use marius_sampling::SamplingDirection;
+use serde::{Deserialize, Serialize};
+
+/// Which encoder architecture to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncoderKind {
+    /// GraphSage with mean aggregation (the paper's default model).
+    GraphSage,
+    /// Single-head graph attention (the "more computationally expensive" model
+    /// of Table 5).
+    Gat,
+    /// GCN-style normalised aggregation.
+    Gcn,
+    /// No encoder: decoder-only DistMult over base embeddings (the specialised
+    /// knowledge-graph model of Table 8).
+    None,
+}
+
+/// Model architecture configuration.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Encoder architecture.
+    pub encoder: EncoderKind,
+    /// Number of GNN layers (0 for [`EncoderKind::None`]).
+    pub num_layers: usize,
+    /// Hidden dimension of intermediate layers.
+    pub hidden_dim: usize,
+    /// Output dimension of the encoder (for link prediction this must equal the
+    /// base-embedding dimension consumed by DistMult).
+    pub output_dim: usize,
+    /// Base representation / feature dimension.
+    pub input_dim: usize,
+    /// Neighbours sampled per node per hop, ordered away from the targets.
+    pub fanouts: Vec<usize>,
+    /// Which edge direction neighbours are drawn from.
+    pub direction: SamplingDirection,
+    /// Learning rate for GNN weights and decoder parameters.
+    pub learning_rate: f32,
+    /// Learning rate for sparse base-embedding updates.
+    pub embedding_learning_rate: f32,
+}
+
+impl ModelConfig {
+    /// The paper's node-classification configuration: a three-layer GraphSage
+    /// with fanouts 30/20/10 sampling both edge directions (§7.1).
+    pub fn paper_node_classification(input_dim: usize, hidden_dim: usize) -> Self {
+        ModelConfig {
+            encoder: EncoderKind::GraphSage,
+            num_layers: 3,
+            hidden_dim,
+            output_dim: hidden_dim,
+            input_dim,
+            fanouts: vec![30, 20, 10],
+            direction: SamplingDirection::Both,
+            learning_rate: 0.01,
+            embedding_learning_rate: 0.1,
+        }
+    }
+
+    /// The paper's link-prediction GraphSage configuration: one layer, 20
+    /// neighbours from both directions, DistMult decoder (§7.1).
+    pub fn paper_link_prediction_graphsage(embedding_dim: usize) -> Self {
+        ModelConfig {
+            encoder: EncoderKind::GraphSage,
+            num_layers: 1,
+            hidden_dim: embedding_dim,
+            output_dim: embedding_dim,
+            input_dim: embedding_dim,
+            fanouts: vec![20],
+            direction: SamplingDirection::Both,
+            learning_rate: 0.01,
+            embedding_learning_rate: 0.1,
+        }
+    }
+
+    /// The paper's link-prediction GAT configuration: one layer, 10 incoming
+    /// neighbours (§7.1).
+    pub fn paper_link_prediction_gat(embedding_dim: usize) -> Self {
+        ModelConfig {
+            encoder: EncoderKind::Gat,
+            num_layers: 1,
+            hidden_dim: embedding_dim,
+            output_dim: embedding_dim,
+            input_dim: embedding_dim,
+            fanouts: vec![10],
+            direction: SamplingDirection::Incoming,
+            learning_rate: 0.01,
+            embedding_learning_rate: 0.1,
+        }
+    }
+
+    /// The decoder-only DistMult configuration used in Table 8.
+    pub fn paper_distmult(embedding_dim: usize) -> Self {
+        ModelConfig {
+            encoder: EncoderKind::None,
+            num_layers: 0,
+            hidden_dim: embedding_dim,
+            output_dim: embedding_dim,
+            input_dim: embedding_dim,
+            fanouts: vec![],
+            direction: SamplingDirection::Both,
+            learning_rate: 0.01,
+            embedding_learning_rate: 0.1,
+        }
+    }
+
+    /// Shrinks fanouts and dimensions for fast test / CI runs while keeping the
+    /// same architecture.
+    pub fn shrunk(mut self, fanout: usize, dim: usize) -> Self {
+        self.fanouts = vec![fanout; self.num_layers];
+        self.hidden_dim = dim;
+        self.output_dim = dim;
+        if self.encoder == EncoderKind::None || self.input_dim == self.output_dim {
+            self.input_dim = dim;
+        }
+        self
+    }
+}
+
+/// Mini-batch and epoch configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Training examples (nodes or edges) per mini batch.
+    pub batch_size: usize,
+    /// Shared negative samples per mini batch (link prediction only).
+    pub num_negatives: usize,
+    /// Negative samples used when evaluating MRR.
+    pub eval_negatives: usize,
+    /// Number of epochs to train.
+    pub epochs: usize,
+    /// RNG seed controlling initialisation, sampling and shuffling.
+    pub seed: u64,
+    /// Maximum number of mini batches per epoch (caps work for quick runs; 0
+    /// means no cap).
+    pub max_batches_per_epoch: usize,
+}
+
+impl TrainConfig {
+    /// A configuration suitable for the scaled-down experiment harnesses.
+    pub fn quick(epochs: usize, seed: u64) -> Self {
+        TrainConfig {
+            batch_size: 256,
+            num_negatives: 64,
+            eval_negatives: 100,
+            epochs,
+            seed,
+            max_batches_per_epoch: 0,
+        }
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            batch_size: 1000,
+            num_negatives: 500,
+            eval_negatives: 500,
+            epochs: 10,
+            seed: 42,
+            max_batches_per_epoch: 0,
+        }
+    }
+}
+
+/// Which partition replacement policy drives disk-based training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// COMET (the paper's policy, §5.1).
+    Comet,
+    /// BETA (the Marius baseline policy).
+    Beta,
+    /// Training-node caching for node classification (§5.2).
+    NodeCache,
+}
+
+/// Disk-based training configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiskConfig {
+    /// Replacement / example-assignment policy.
+    pub policy: PolicyKind,
+    /// Number of physical partitions `p`.
+    pub num_partitions: u32,
+    /// Buffer capacity `c` in physical partitions.
+    pub buffer_capacity: usize,
+    /// Number of logical partitions `l` (COMET only; 0 lets the auto-tuning rule
+    /// `l = 2p/c` choose).
+    pub num_logical: u32,
+}
+
+impl DiskConfig {
+    /// COMET with the auto-tuning rule for `l`.
+    pub fn comet(num_partitions: u32, buffer_capacity: usize) -> Self {
+        DiskConfig {
+            policy: PolicyKind::Comet,
+            num_partitions,
+            buffer_capacity,
+            num_logical: 0,
+        }
+    }
+
+    /// BETA with the given partition count and buffer.
+    pub fn beta(num_partitions: u32, buffer_capacity: usize) -> Self {
+        DiskConfig {
+            policy: PolicyKind::Beta,
+            num_partitions,
+            buffer_capacity,
+            num_logical: 0,
+        }
+    }
+
+    /// The node-classification caching policy.
+    pub fn node_cache(num_partitions: u32, buffer_capacity: usize) -> Self {
+        DiskConfig {
+            policy: PolicyKind::NodeCache,
+            num_partitions,
+            buffer_capacity,
+            num_logical: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations_match_section_7_1() {
+        let nc = ModelConfig::paper_node_classification(128, 256);
+        assert_eq!(nc.num_layers, 3);
+        assert_eq!(nc.fanouts, vec![30, 20, 10]);
+        assert_eq!(nc.direction, SamplingDirection::Both);
+
+        let gs = ModelConfig::paper_link_prediction_graphsage(100);
+        assert_eq!(gs.num_layers, 1);
+        assert_eq!(gs.fanouts, vec![20]);
+
+        let gat = ModelConfig::paper_link_prediction_gat(100);
+        assert_eq!(gat.encoder, EncoderKind::Gat);
+        assert_eq!(gat.fanouts, vec![10]);
+        assert_eq!(gat.direction, SamplingDirection::Incoming);
+
+        let dm = ModelConfig::paper_distmult(50);
+        assert_eq!(dm.encoder, EncoderKind::None);
+        assert!(dm.fanouts.is_empty());
+    }
+
+    #[test]
+    fn shrunk_keeps_architecture() {
+        let m = ModelConfig::paper_node_classification(128, 256).shrunk(5, 16);
+        assert_eq!(m.num_layers, 3);
+        assert_eq!(m.fanouts, vec![5, 5, 5]);
+        assert_eq!(m.hidden_dim, 16);
+    }
+
+    #[test]
+    fn train_config_defaults() {
+        let c = TrainConfig::default();
+        assert_eq!(c.epochs, 10);
+        assert_eq!(c.num_negatives, 500);
+        let q = TrainConfig::quick(2, 7);
+        assert_eq!(q.epochs, 2);
+        assert_eq!(q.seed, 7);
+    }
+
+    #[test]
+    fn disk_config_constructors() {
+        assert_eq!(DiskConfig::comet(16, 4).policy, PolicyKind::Comet);
+        assert_eq!(DiskConfig::beta(16, 4).policy, PolicyKind::Beta);
+        assert_eq!(DiskConfig::node_cache(8, 4).policy, PolicyKind::NodeCache);
+    }
+}

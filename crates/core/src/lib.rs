@@ -1,0 +1,29 @@
+//! End-to-end out-of-core GNN training (the MariusGNN system proper).
+//!
+//! This crate ties the substrates together into the pipeline of Figure 2:
+//!
+//! * [`config`] — model and training configuration (encoder kind, fanouts,
+//!   batch sizes, negative counts, disk policy selection).
+//! * [`source::RepresentationSource`] — the abstraction over where base
+//!   representations live: an in-memory [`marius_gnn::EmbeddingTable`], a fixed
+//!   feature matrix, or the out-of-core [`marius_storage::PartitionBuffer`].
+//! * [`models`] — the trainable models: a GNN encoder plus DistMult decoder for
+//!   link prediction and a GNN encoder plus softmax head for node
+//!   classification, each with a full manual forward/backward mini-batch step.
+//! * [`trainer`] — epoch orchestration for in-memory and disk-based training,
+//!   including the partition-buffer walk over a replacement policy's epoch plan,
+//!   per-phase timing (sampling / compute / IO), and evaluation (accuracy, MRR).
+//! * [`report`] — experiment reporting structures shared by the examples and the
+//!   benchmark harnesses that regenerate the paper's tables.
+
+pub mod config;
+pub mod models;
+pub mod report;
+pub mod source;
+pub mod trainer;
+
+pub use config::{DiskConfig, EncoderKind, ModelConfig, PolicyKind, TrainConfig};
+pub use models::{LinkPredictionModel, NodeClassificationModel};
+pub use report::{EpochReport, ExperimentReport};
+pub use source::{FixedFeatureSource, RepresentationSource, TableSource};
+pub use trainer::{LinkPredictionTrainer, NodeClassificationTrainer};

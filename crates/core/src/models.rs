@@ -1,0 +1,592 @@
+//! Trainable models: encoder + decoder with full mini-batch train/eval steps.
+
+use crate::config::{EncoderKind, ModelConfig};
+use crate::source::RepresentationSource;
+use marius_gnn::layers::{Aggregator, GatLayer, GcnLayer, GraphSageLayer};
+use marius_gnn::loss::{ranking_softmax_loss, softmax_cross_entropy};
+use marius_gnn::{ClassifierHead, DistMult, Encoder, Optimizer};
+use marius_graph::{Edge, InMemorySubgraph, NodeId};
+use marius_sampling::{MultiHopSampler, NegativeSampler, RankingProtocol};
+use marius_tensor::segment::index_add;
+use marius_tensor::Tensor;
+use rand::Rng;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Statistics for one mini-batch step, aggregated into epoch reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Mini-batch loss.
+    pub loss: f64,
+    /// Number of training examples processed.
+    pub examples: usize,
+    /// Wall-clock time spent in CPU neighbourhood sampling.
+    pub sample_time: Duration,
+    /// Wall-clock time spent in forward/backward compute and updates.
+    pub compute_time: Duration,
+    /// Unique nodes in the mini-batch sample.
+    pub nodes_sampled: usize,
+    /// Sampled neighbour edges in the mini batch.
+    pub edges_sampled: usize,
+}
+
+/// Builds the encoder stack described by a [`ModelConfig`].
+pub fn build_encoder<R: Rng + ?Sized>(config: &ModelConfig, rng: &mut R) -> Encoder {
+    let mut encoder = Encoder::new();
+    for layer in 0..config.num_layers {
+        let in_dim = if layer == 0 {
+            config.input_dim
+        } else {
+            config.hidden_dim
+        };
+        let out_dim = if layer + 1 == config.num_layers {
+            config.output_dim
+        } else {
+            config.hidden_dim
+        };
+        let is_last = layer + 1 == config.num_layers;
+        let boxed: Box<dyn marius_gnn::GnnLayer> = match config.encoder {
+            EncoderKind::GraphSage | EncoderKind::None => Box::new(GraphSageLayer::new(
+                in_dim,
+                out_dim,
+                Aggregator::Mean,
+                !is_last,
+                rng,
+            )),
+            EncoderKind::Gat => Box::new(GatLayer::new(in_dim, out_dim, !is_last, rng)),
+            EncoderKind::Gcn => Box::new(GcnLayer::new(in_dim, out_dim, !is_last, rng)),
+        };
+        encoder = encoder.push_layer(boxed);
+    }
+    encoder
+}
+
+/// A link-prediction model: GNN encoder (possibly empty) plus DistMult decoder.
+pub struct LinkPredictionModel {
+    encoder: Encoder,
+    decoder: DistMult,
+    sampler: MultiHopSampler,
+    negative_sampler: NegativeSampler,
+    optimizer: Optimizer,
+    output_dim: usize,
+}
+
+impl LinkPredictionModel {
+    /// Builds the model for a graph with `num_relations` edge types.
+    pub fn new<R: Rng + ?Sized>(config: &ModelConfig, num_relations: u32, rng: &mut R) -> Self {
+        let encoder = build_encoder(config, rng);
+        let decoder = DistMult::new(num_relations as usize, config.output_dim, rng);
+        let sampler = MultiHopSampler::new(config.fanouts.clone(), config.direction);
+        LinkPredictionModel {
+            encoder,
+            decoder,
+            sampler,
+            negative_sampler: NegativeSampler::new(0),
+            optimizer: Optimizer::adagrad(config.learning_rate),
+            output_dim: config.output_dim,
+        }
+    }
+
+    /// Sets the number of shared negatives per mini batch.
+    pub fn with_negatives(mut self, num_negatives: usize) -> Self {
+        self.negative_sampler = NegativeSampler::new(num_negatives);
+        self
+    }
+
+    /// Number of encoder layers.
+    pub fn num_layers(&self) -> usize {
+        self.encoder.num_layers()
+    }
+
+    /// Encodes a set of target nodes over the in-memory subgraph, returning their
+    /// final representations, the list of all sampled node ids (for write-back),
+    /// the encoder activations and sampling statistics.
+    fn encode<R: Rng + ?Sized>(
+        &self,
+        source: &dyn RepresentationSource,
+        subgraph: &InMemorySubgraph,
+        targets: &[NodeId],
+        rng: &mut R,
+    ) -> (
+        marius_gnn::encoder::EncoderActivations,
+        Vec<NodeId>,
+        marius_sampling::SampleStats,
+        Duration,
+    ) {
+        let sample_start = Instant::now();
+        let mut dense = self.sampler.sample(subgraph, targets, rng);
+        let sample_time = sample_start.elapsed();
+        let stats = dense.stats();
+        let node_ids = dense.node_ids().to_vec();
+        let h0 = source.gather(&node_ids);
+        let acts = self.encoder.forward(&mut dense, h0);
+        (acts, node_ids, stats, sample_time)
+    }
+
+    /// Runs one training step over a batch of positive edges.
+    pub fn train_batch<R: Rng + ?Sized>(
+        &mut self,
+        source: &mut dyn RepresentationSource,
+        subgraph: &InMemorySubgraph,
+        edges: &[Edge],
+        negative_candidates: &[NodeId],
+        rng: &mut R,
+    ) -> BatchStats {
+        if edges.is_empty() {
+            return BatchStats::default();
+        }
+        // Shared negative pool plus the unique batch endpoints form the targets.
+        let negatives = if self.negative_sampler.num_negatives() > 0 {
+            self.negative_sampler.sample_pool(negative_candidates, rng)
+        } else {
+            Vec::new()
+        };
+        let mut position: HashMap<NodeId, usize> = HashMap::new();
+        let mut targets: Vec<NodeId> = Vec::new();
+        let intern =
+            |n: NodeId, targets: &mut Vec<NodeId>, position: &mut HashMap<NodeId, usize>| {
+                *position.entry(n).or_insert_with(|| {
+                    targets.push(n);
+                    targets.len() - 1
+                })
+            };
+        let mut src_idx = Vec::with_capacity(edges.len());
+        let mut dst_idx = Vec::with_capacity(edges.len());
+        let rels: Vec<u32> = edges.iter().map(|e| e.rel).collect();
+        for e in edges {
+            src_idx.push(intern(e.src, &mut targets, &mut position));
+            dst_idx.push(intern(e.dst, &mut targets, &mut position));
+        }
+        let neg_idx: Vec<usize> = negatives
+            .iter()
+            .map(|&n| intern(n, &mut targets, &mut position))
+            .collect();
+
+        let (acts, node_ids, stats, sample_time) = self.encode(source, subgraph, &targets, rng);
+        let compute_start = Instant::now();
+        let out = &acts.output;
+
+        // Gather per-role representations from the encoder output.
+        let src_repr = marius_tensor::segment::index_select(out, &src_idx).expect("src rows");
+        let dst_repr = marius_tensor::segment::index_select(out, &dst_idx).expect("dst rows");
+        let neg_repr = marius_tensor::segment::index_select(out, &neg_idx).expect("neg rows");
+
+        let pos_scores = self.decoder.score_positive(&src_repr, &rels, &dst_repr);
+        let neg_scores = self.decoder.score_negatives(&src_repr, &rels, &neg_repr);
+        let loss = ranking_softmax_loss(&pos_scores, &neg_scores);
+
+        // Decoder backward -> per-role gradients.
+        let (g_src_pos, g_dst) =
+            self.decoder
+                .backward_positive(&src_repr, &rels, &dst_repr, &loss.grad_positive);
+        let (g_src_neg, g_neg) =
+            self.decoder
+                .backward_negatives(&src_repr, &rels, &neg_repr, &loss.grad_negative);
+        let g_src = g_src_pos.add(&g_src_neg).expect("src grad shapes");
+
+        // Scatter the per-role gradients back onto the encoder output rows.
+        let mut grad_targets = Tensor::zeros(out.rows(), self.output_dim);
+        grad_targets
+            .add_assign(&index_add(out.rows(), self.output_dim, &src_idx, &g_src).expect("scatter"))
+            .expect("shape");
+        grad_targets
+            .add_assign(&index_add(out.rows(), self.output_dim, &dst_idx, &g_dst).expect("scatter"))
+            .expect("shape");
+        grad_targets
+            .add_assign(&index_add(out.rows(), self.output_dim, &neg_idx, &g_neg).expect("scatter"))
+            .expect("shape");
+
+        // Encoder backward and parameter / embedding updates.
+        let grad_h0 = self.encoder.backward(&acts, &grad_targets);
+        self.encoder.step(&self.optimizer);
+        self.optimizer.step(self.decoder.relation_param_mut());
+        if source.learnable() {
+            source.apply_update(&node_ids, &grad_h0);
+        }
+        let compute_time = compute_start.elapsed();
+
+        BatchStats {
+            loss: loss.loss,
+            examples: edges.len(),
+            sample_time,
+            compute_time,
+            nodes_sampled: stats.nodes_sampled,
+            edges_sampled: stats.edges_sampled,
+        }
+    }
+
+    /// Evaluates MRR over `edges`, ranking each positive destination against
+    /// `num_negatives` shared corruptions drawn from `candidates`.
+    pub fn evaluate_mrr<R: Rng + ?Sized>(
+        &self,
+        source: &dyn RepresentationSource,
+        subgraph: &InMemorySubgraph,
+        edges: &[Edge],
+        candidates: &[NodeId],
+        num_negatives: usize,
+        rng: &mut R,
+    ) -> f64 {
+        if edges.is_empty() {
+            return 0.0;
+        }
+        let neg_sampler = NegativeSampler::new(num_negatives);
+        let mut positives = Vec::with_capacity(edges.len());
+        let mut negative_scores = Vec::with_capacity(edges.len());
+        // Evaluate in manageable chunks so the target set stays small.
+        for chunk in edges.chunks(512) {
+            let negatives = neg_sampler.sample_pool(candidates, rng);
+            let mut position: HashMap<NodeId, usize> = HashMap::new();
+            let mut targets: Vec<NodeId> = Vec::new();
+            let intern =
+                |n: NodeId, targets: &mut Vec<NodeId>, position: &mut HashMap<NodeId, usize>| {
+                    *position.entry(n).or_insert_with(|| {
+                        targets.push(n);
+                        targets.len() - 1
+                    })
+                };
+            let mut src_idx = Vec::new();
+            let mut dst_idx = Vec::new();
+            let rels: Vec<u32> = chunk.iter().map(|e| e.rel).collect();
+            for e in chunk {
+                src_idx.push(intern(e.src, &mut targets, &mut position));
+                dst_idx.push(intern(e.dst, &mut targets, &mut position));
+            }
+            let neg_idx: Vec<usize> = negatives
+                .iter()
+                .map(|&n| intern(n, &mut targets, &mut position))
+                .collect();
+            let (acts, _, _, _) = self.encode(source, subgraph, &targets, rng);
+            let out = &acts.output;
+            let src_repr = marius_tensor::segment::index_select(out, &src_idx).expect("src rows");
+            let dst_repr = marius_tensor::segment::index_select(out, &dst_idx).expect("dst rows");
+            let neg_repr = marius_tensor::segment::index_select(out, &neg_idx).expect("neg rows");
+            let pos = self.decoder.score_positive(&src_repr, &rels, &dst_repr);
+            let neg = self.decoder.score_negatives(&src_repr, &rels, &neg_repr);
+            for (i, _) in chunk.iter().enumerate() {
+                positives.push(pos.get(i, 0));
+                negative_scores.push(neg.row(i).to_vec());
+            }
+        }
+        RankingProtocol::mrr(&positives, &negative_scores)
+    }
+}
+
+/// A node-classification model: GNN encoder plus linear softmax head.
+pub struct NodeClassificationModel {
+    encoder: Encoder,
+    head: ClassifierHead,
+    sampler: MultiHopSampler,
+    optimizer: Optimizer,
+}
+
+impl NodeClassificationModel {
+    /// Builds the model for `num_classes` output classes.
+    pub fn new<R: Rng + ?Sized>(config: &ModelConfig, num_classes: usize, rng: &mut R) -> Self {
+        let encoder = build_encoder(config, rng);
+        let head = ClassifierHead::new(config.output_dim, num_classes, rng);
+        let sampler = MultiHopSampler::new(config.fanouts.clone(), config.direction);
+        NodeClassificationModel {
+            encoder,
+            head,
+            sampler,
+            optimizer: Optimizer::adagrad(config.learning_rate),
+        }
+    }
+
+    /// Number of encoder layers.
+    pub fn num_layers(&self) -> usize {
+        self.encoder.num_layers()
+    }
+
+    /// Runs one training step over a batch of labeled nodes.
+    pub fn train_batch<R: Rng + ?Sized>(
+        &mut self,
+        source: &mut dyn RepresentationSource,
+        subgraph: &InMemorySubgraph,
+        nodes: &[NodeId],
+        labels: &[u32],
+        rng: &mut R,
+    ) -> BatchStats {
+        if nodes.is_empty() {
+            return BatchStats::default();
+        }
+        let sample_start = Instant::now();
+        let mut dense = self.sampler.sample(subgraph, nodes, rng);
+        let sample_time = sample_start.elapsed();
+        let stats = dense.stats();
+        let node_ids = dense.node_ids().to_vec();
+        // Dense de-duplicates targets; align labels with the retained order.
+        let target_order = dense.target_nodes().to_vec();
+        let label_of: HashMap<NodeId, u32> =
+            nodes.iter().copied().zip(labels.iter().copied()).collect();
+        let batch_labels: Vec<u32> = target_order.iter().map(|n| label_of[n]).collect();
+
+        let h0 = source.gather(&node_ids);
+        let compute_start = Instant::now();
+        let acts = self.encoder.forward(&mut dense, h0);
+        let logits = self.head.forward(&acts.output);
+        let loss = softmax_cross_entropy(&logits, &batch_labels);
+        let grad_out = self.head.backward(&acts.output, &loss.grad_logits);
+        let grad_h0 = self.encoder.backward(&acts, &grad_out);
+        self.encoder.step(&self.optimizer);
+        for p in self.head.params_mut() {
+            self.optimizer.step(p);
+        }
+        if source.learnable() {
+            source.apply_update(&node_ids, &grad_h0);
+        }
+        let compute_time = compute_start.elapsed();
+
+        BatchStats {
+            loss: loss.loss,
+            examples: target_order.len(),
+            sample_time,
+            compute_time,
+            nodes_sampled: stats.nodes_sampled,
+            edges_sampled: stats.edges_sampled,
+        }
+    }
+
+    /// Classification accuracy over `nodes`.
+    pub fn evaluate_accuracy<R: Rng + ?Sized>(
+        &self,
+        source: &dyn RepresentationSource,
+        subgraph: &InMemorySubgraph,
+        nodes: &[NodeId],
+        labels: &[u32],
+        rng: &mut R,
+    ) -> f64 {
+        if nodes.is_empty() {
+            return 0.0;
+        }
+        let label_of: HashMap<NodeId, u32> =
+            nodes.iter().copied().zip(labels.iter().copied()).collect();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for chunk in nodes.chunks(1024) {
+            let mut dense = self.sampler.sample(subgraph, chunk, rng);
+            let target_order = dense.target_nodes().to_vec();
+            let node_ids = dense.node_ids().to_vec();
+            let h0 = source.gather(&node_ids);
+            let acts = self.encoder.forward(&mut dense, h0);
+            let logits = self.head.forward(&acts.output);
+            let preds = logits.argmax_rows();
+            for (i, n) in target_order.iter().enumerate() {
+                if preds[i] as u32 == label_of[n] {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        correct as f64 / total.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marius_graph::datasets::{DatasetSpec, ScaledDataset};
+    use marius_sampling::SamplingDirection;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn build_encoder_produces_requested_depth_and_dims() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = ModelConfig {
+            encoder: EncoderKind::GraphSage,
+            num_layers: 3,
+            hidden_dim: 8,
+            output_dim: 4,
+            input_dim: 6,
+            fanouts: vec![3, 3, 3],
+            direction: SamplingDirection::Both,
+            learning_rate: 0.01,
+            embedding_learning_rate: 0.1,
+        };
+        let enc = build_encoder(&config, &mut rng);
+        assert_eq!(enc.num_layers(), 3);
+        assert_eq!(enc.output_dim(), Some(4));
+        assert_eq!(enc.layers()[0].input_dim(), 6);
+        assert_eq!(enc.layers()[1].input_dim(), 8);
+    }
+
+    #[test]
+    fn build_encoder_gat_and_gcn() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut config = ModelConfig::paper_link_prediction_gat(8);
+        config.fanouts = vec![3];
+        let enc = build_encoder(&config, &mut rng);
+        assert_eq!(enc.layers()[0].name(), "gat");
+        config.encoder = EncoderKind::Gcn;
+        let enc = build_encoder(&config, &mut rng);
+        assert_eq!(enc.layers()[0].name(), "gcn");
+        config.encoder = EncoderKind::None;
+        config.num_layers = 0;
+        let enc = build_encoder(&config, &mut rng);
+        assert_eq!(enc.num_layers(), 0);
+    }
+
+    fn tiny_kg() -> ScaledDataset {
+        ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.02), 11)
+    }
+
+    #[test]
+    fn link_prediction_batch_reduces_loss_over_steps() {
+        let data = tiny_kg();
+        let subgraph = InMemorySubgraph::from_edges(data.graph.edges());
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = ModelConfig::paper_link_prediction_graphsage(16).shrunk(5, 16);
+        let mut model =
+            LinkPredictionModel::new(&config, data.spec.num_relations, &mut rng).with_negatives(32);
+        let table = marius_gnn::EmbeddingTable::new(data.num_nodes() as usize, 16, 0.1, &mut rng)
+            .with_learning_rate(0.1);
+        let mut source = crate::source::TableSource::new(table);
+        let candidates: Vec<NodeId> = (0..data.num_nodes()).collect();
+
+        // Train repeatedly on one fixed batch: with correct gradients the loss on
+        // that batch must decrease substantially.
+        let batch = &data.train_edges[..64.min(data.train_edges.len())];
+        let mut first = f64::NAN;
+        let mut last = f64::NAN;
+        for round in 0..60 {
+            let stats = model.train_batch(&mut source, &subgraph, batch, &candidates, &mut rng);
+            assert!(stats.loss.is_finite());
+            if round == 0 {
+                first = stats.loss;
+            }
+            last = stats.loss;
+        }
+        assert!(
+            last < first - 0.1,
+            "loss should decrease on a fixed batch: first {first} vs last {last}"
+        );
+    }
+
+    #[test]
+    fn link_prediction_mrr_improves_with_training() {
+        let data = tiny_kg();
+        let subgraph = InMemorySubgraph::from_edges(data.graph.edges());
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = ModelConfig::paper_distmult(16);
+        let mut model =
+            LinkPredictionModel::new(&config, data.spec.num_relations, &mut rng).with_negatives(64);
+        let table = marius_gnn::EmbeddingTable::new(data.num_nodes() as usize, 16, 0.1, &mut rng)
+            .with_learning_rate(0.1);
+        let mut source = crate::source::TableSource::new(table);
+        let candidates: Vec<NodeId> = (0..data.num_nodes()).collect();
+
+        let initial = model.evaluate_mrr(
+            &source,
+            &subgraph,
+            &data.test_edges,
+            &candidates,
+            100,
+            &mut rng,
+        );
+        for _ in 0..3 {
+            for batch in data.train_edges.chunks(128) {
+                model.train_batch(&mut source, &subgraph, batch, &candidates, &mut rng);
+            }
+        }
+        let trained = model.evaluate_mrr(
+            &source,
+            &subgraph,
+            &data.test_edges,
+            &candidates,
+            100,
+            &mut rng,
+        );
+        assert!(
+            trained > initial + 0.05,
+            "MRR should improve with training: {initial} -> {trained}"
+        );
+    }
+
+    #[test]
+    fn node_classification_accuracy_improves_with_training() {
+        let spec = DatasetSpec::ogbn_arxiv().scaled(0.01);
+        let data = ScaledDataset::generate(&spec, 5);
+        let subgraph = InMemorySubgraph::from_edges(data.graph.edges());
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut config = ModelConfig::paper_node_classification(spec.feat_dim, 32);
+        config.num_layers = 2;
+        config.fanouts = vec![10, 10];
+        let num_classes = spec.num_classes.unwrap();
+        let mut model = NodeClassificationModel::new(&config, num_classes, &mut rng);
+        let mut source = crate::source::FixedFeatureSource::new(data.features.clone().unwrap());
+        let labels = data.labels.as_ref().unwrap();
+
+        let test_labels: Vec<u32> = data
+            .node_split
+            .test
+            .iter()
+            .map(|&n| labels[n as usize])
+            .collect();
+        let initial = model.evaluate_accuracy(
+            &source,
+            &subgraph,
+            &data.node_split.test,
+            &test_labels,
+            &mut rng,
+        );
+        for _ in 0..5 {
+            for batch in data.node_split.train.chunks(128) {
+                let batch_labels: Vec<u32> = batch.iter().map(|&n| labels[n as usize]).collect();
+                let stats =
+                    model.train_batch(&mut source, &subgraph, batch, &batch_labels, &mut rng);
+                assert!(stats.loss.is_finite());
+            }
+        }
+        let trained = model.evaluate_accuracy(
+            &source,
+            &subgraph,
+            &data.node_split.test,
+            &test_labels,
+            &mut rng,
+        );
+        assert!(
+            trained > initial,
+            "accuracy should improve: {initial} -> {trained}"
+        );
+        assert!(trained > 1.5 / num_classes as f64);
+    }
+
+    #[test]
+    fn batch_stats_track_sampling_volume() {
+        let data = tiny_kg();
+        let subgraph = InMemorySubgraph::from_edges(data.graph.edges());
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = ModelConfig::paper_link_prediction_graphsage(8).shrunk(5, 8);
+        let mut model =
+            LinkPredictionModel::new(&config, data.spec.num_relations, &mut rng).with_negatives(16);
+        let table = marius_gnn::EmbeddingTable::new(data.num_nodes() as usize, 8, 0.1, &mut rng);
+        let mut source = crate::source::TableSource::new(table);
+        let candidates: Vec<NodeId> = (0..data.num_nodes()).collect();
+        let stats = model.train_batch(
+            &mut source,
+            &subgraph,
+            &data.train_edges[..32],
+            &candidates,
+            &mut rng,
+        );
+        assert!(stats.nodes_sampled > 0);
+        assert!(stats.examples == 32);
+        assert!(stats.sample_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let data = tiny_kg();
+        let subgraph = InMemorySubgraph::from_edges(data.graph.edges());
+        let mut rng = StdRng::seed_from_u64(8);
+        let config = ModelConfig::paper_distmult(8);
+        let mut model = LinkPredictionModel::new(&config, 4, &mut rng);
+        let table = marius_gnn::EmbeddingTable::new(data.num_nodes() as usize, 8, 0.1, &mut rng);
+        let mut source = crate::source::TableSource::new(table);
+        let stats = model.train_batch(&mut source, &subgraph, &[], &[0, 1], &mut rng);
+        assert_eq!(stats.examples, 0);
+        let mrr = model.evaluate_mrr(&source, &subgraph, &[], &[0, 1], 10, &mut rng);
+        assert_eq!(mrr, 0.0);
+    }
+}

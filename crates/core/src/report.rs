@@ -1,0 +1,179 @@
+//! Experiment reporting structures shared by examples and benchmark harnesses.
+
+use marius_baselines::{AwsInstance, CostModel};
+use std::time::Duration;
+
+/// Per-epoch measurements.
+#[derive(Debug, Clone, Default)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub loss: f64,
+    /// Task metric after the epoch: accuracy for node classification, MRR for
+    /// link prediction.
+    pub metric: f64,
+    /// Wall-clock duration of the epoch's training phase.
+    pub epoch_time: Duration,
+    /// Time spent in CPU neighbourhood sampling.
+    pub sample_time: Duration,
+    /// Time spent in forward/backward compute and updates.
+    pub compute_time: Duration,
+    /// Estimated disk IO time under the experiment's IO cost model.
+    pub io_time: Duration,
+    /// Bytes read from disk during the epoch.
+    pub io_bytes_read: u64,
+    /// Bytes written to disk during the epoch.
+    pub io_bytes_written: u64,
+    /// Partition loads performed during the epoch.
+    pub partition_loads: usize,
+    /// Training examples processed.
+    pub examples: usize,
+    /// Total unique nodes sampled across mini batches.
+    pub nodes_sampled: usize,
+    /// Total neighbour edges sampled across mini batches.
+    pub edges_sampled: usize,
+}
+
+/// A complete experiment run: configuration label plus per-epoch reports.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentReport {
+    /// System / configuration label (e.g. "M-GNN_Mem", "M-GNN_Disk (COMET)").
+    pub system: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Per-epoch measurements, in order.
+    pub epochs: Vec<EpochReport>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report with labels.
+    pub fn new(system: impl Into<String>, dataset: impl Into<String>) -> Self {
+        ExperimentReport {
+            system: system.into(),
+            dataset: dataset.into(),
+            epochs: Vec::new(),
+        }
+    }
+
+    /// The final epoch's metric (0.0 if no epochs ran).
+    pub fn final_metric(&self) -> f64 {
+        self.epochs.last().map(|e| e.metric).unwrap_or(0.0)
+    }
+
+    /// The best metric across epochs.
+    pub fn best_metric(&self) -> f64 {
+        self.epochs.iter().map(|e| e.metric).fold(0.0, f64::max)
+    }
+
+    /// Mean epoch time.
+    pub fn avg_epoch_time(&self) -> Duration {
+        if self.epochs.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.epochs.iter().map(|e| e.epoch_time).sum();
+        total / self.epochs.len() as u32
+    }
+
+    /// Total training time across epochs.
+    pub fn total_time(&self) -> Duration {
+        self.epochs.iter().map(|e| e.epoch_time).sum()
+    }
+
+    /// Dollar cost per epoch on the given instance.
+    pub fn cost_per_epoch(&self, instance: AwsInstance) -> f64 {
+        CostModel::cost_per_epoch(instance, self.avg_epoch_time())
+    }
+
+    /// Time (from the start of training) until the metric first reaches
+    /// `threshold`, or `None` if it never does — the time-to-accuracy measure of
+    /// Figure 7.
+    pub fn time_to_metric(&self, threshold: f64) -> Option<Duration> {
+        let mut elapsed = Duration::ZERO;
+        for e in &self.epochs {
+            elapsed += e.epoch_time;
+            if e.metric >= threshold {
+                return Some(elapsed);
+            }
+        }
+        None
+    }
+
+    /// Renders the report as an aligned text table (one row per epoch).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} on {}\n", self.system, self.dataset));
+        out.push_str("epoch |   loss   | metric | epoch_s | sample_s | compute_s | io_s | loads\n");
+        for e in &self.epochs {
+            out.push_str(&format!(
+                "{:5} | {:8.4} | {:6.4} | {:7.2} | {:8.2} | {:9.2} | {:4.2} | {:5}\n",
+                e.epoch,
+                e.loss,
+                e.metric,
+                e.epoch_time.as_secs_f64(),
+                e.sample_time.as_secs_f64(),
+                e.compute_time.as_secs_f64(),
+                e.io_time.as_secs_f64(),
+                e.partition_loads,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(metrics: &[f64], secs: u64) -> ExperimentReport {
+        let mut r = ExperimentReport::new("test-system", "test-data");
+        for (i, &m) in metrics.iter().enumerate() {
+            r.epochs.push(EpochReport {
+                epoch: i,
+                metric: m,
+                epoch_time: Duration::from_secs(secs),
+                ..Default::default()
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn metric_accessors() {
+        let r = report_with(&[0.1, 0.3, 0.25], 60);
+        assert_eq!(r.final_metric(), 0.25);
+        assert_eq!(r.best_metric(), 0.3);
+        assert_eq!(r.avg_epoch_time(), Duration::from_secs(60));
+        assert_eq!(r.total_time(), Duration::from_secs(180));
+    }
+
+    #[test]
+    fn empty_report_defaults() {
+        let r = ExperimentReport::new("s", "d");
+        assert_eq!(r.final_metric(), 0.0);
+        assert_eq!(r.avg_epoch_time(), Duration::ZERO);
+        assert!(r.time_to_metric(0.5).is_none());
+    }
+
+    #[test]
+    fn time_to_metric_accumulates_epochs() {
+        let r = report_with(&[0.1, 0.2, 0.5, 0.6], 30);
+        assert_eq!(r.time_to_metric(0.5), Some(Duration::from_secs(90)));
+        assert!(r.time_to_metric(0.9).is_none());
+    }
+
+    #[test]
+    fn cost_uses_instance_pricing() {
+        let r = report_with(&[0.5], 3600);
+        let cost = r.cost_per_epoch(AwsInstance::P3_2xLarge);
+        assert!((cost - 3.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_rendering_contains_rows() {
+        let r = report_with(&[0.5, 0.6], 10);
+        let table = r.to_table();
+        assert!(table.contains("test-system"));
+        assert_eq!(table.lines().count(), 4);
+    }
+}

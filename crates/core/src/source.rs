@@ -1,0 +1,151 @@
+//! Abstraction over where base representations live.
+//!
+//! The processing layer (models, trainers) is agnostic to whether the base
+//! representations of nodes come from an in-memory embedding table, a fixed
+//! feature matrix, or the out-of-core partition buffer — it only needs to gather
+//! rows for the nodes in a DENSE sample and, for learnable representations, write
+//! sparse gradient updates back (Figure 2 steps 4 and 6).
+
+use marius_gnn::EmbeddingTable;
+use marius_graph::datasets::FeatureMatrix;
+use marius_graph::NodeId;
+use marius_storage::PartitionBuffer;
+use marius_tensor::Tensor;
+
+/// A source of per-node base representations.
+pub trait RepresentationSource {
+    /// Representation dimension.
+    fn dim(&self) -> usize;
+
+    /// Gathers rows for `nodes` in order.
+    fn gather(&self, nodes: &[NodeId]) -> Tensor;
+
+    /// Applies a sparse gradient update (`grads` row `i` belongs to `nodes[i]`).
+    /// No-op for fixed features.
+    fn apply_update(&mut self, nodes: &[NodeId], grads: &Tensor);
+
+    /// Whether the representations are learnable.
+    fn learnable(&self) -> bool;
+}
+
+/// In-memory learnable embeddings backed by an [`EmbeddingTable`].
+#[derive(Debug)]
+pub struct TableSource {
+    table: EmbeddingTable,
+}
+
+impl TableSource {
+    /// Wraps an embedding table.
+    pub fn new(table: EmbeddingTable) -> Self {
+        TableSource { table }
+    }
+
+    /// Returns the underlying table (for evaluation-time full-graph access).
+    pub fn table(&self) -> &EmbeddingTable {
+        &self.table
+    }
+}
+
+impl RepresentationSource for TableSource {
+    fn dim(&self) -> usize {
+        self.table.dim()
+    }
+
+    fn gather(&self, nodes: &[NodeId]) -> Tensor {
+        self.table.gather(nodes)
+    }
+
+    fn apply_update(&mut self, nodes: &[NodeId], grads: &Tensor) {
+        self.table.apply_sparse_update(nodes, grads);
+    }
+
+    fn learnable(&self) -> bool {
+        true
+    }
+}
+
+/// Fixed input features (node classification): gathers rows, ignores updates.
+#[derive(Debug)]
+pub struct FixedFeatureSource {
+    features: FeatureMatrix,
+}
+
+impl FixedFeatureSource {
+    /// Wraps a feature matrix.
+    pub fn new(features: FeatureMatrix) -> Self {
+        FixedFeatureSource { features }
+    }
+}
+
+impl RepresentationSource for FixedFeatureSource {
+    fn dim(&self) -> usize {
+        self.features.dim()
+    }
+
+    fn gather(&self, nodes: &[NodeId]) -> Tensor {
+        let mut out = Tensor::zeros(nodes.len(), self.features.dim());
+        for (i, &n) in nodes.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.features.row(n));
+        }
+        out
+    }
+
+    fn apply_update(&mut self, _nodes: &[NodeId], _grads: &Tensor) {}
+
+    fn learnable(&self) -> bool {
+        false
+    }
+}
+
+impl RepresentationSource for PartitionBuffer {
+    fn dim(&self) -> usize {
+        PartitionBuffer::dim(self)
+    }
+
+    fn gather(&self, nodes: &[NodeId]) -> Tensor {
+        PartitionBuffer::gather(self, nodes)
+            .expect("mini batches only reference nodes resident in the partition buffer")
+    }
+
+    fn apply_update(&mut self, nodes: &[NodeId], grads: &Tensor) {
+        PartitionBuffer::apply_update(self, nodes, grads)
+            .expect("mini batches only reference nodes resident in the partition buffer");
+    }
+
+    fn learnable(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table_source_gathers_and_updates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let table = EmbeddingTable::new(10, 4, 0.1, &mut rng);
+        let mut source = TableSource::new(table);
+        assert!(source.learnable());
+        assert_eq!(source.dim(), 4);
+        let before = source.gather(&[3]);
+        source.apply_update(&[3], &Tensor::ones(1, 4));
+        let after = source.gather(&[3]);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn fixed_feature_source_ignores_updates() {
+        let mut features = FeatureMatrix::zeros(5, 3);
+        features.row_mut(2).copy_from_slice(&[1.0, 2.0, 3.0]);
+        let mut source = FixedFeatureSource::new(features);
+        assert!(!source.learnable());
+        assert_eq!(source.dim(), 3);
+        let before = source.gather(&[2, 0]);
+        assert_eq!(before.row(0), &[1.0, 2.0, 3.0]);
+        source.apply_update(&[2], &Tensor::ones(1, 3));
+        assert_eq!(source.gather(&[2]), before.slice_rows(0, 1).unwrap());
+    }
+}

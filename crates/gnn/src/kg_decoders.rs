@@ -1,0 +1,287 @@
+//! Additional knowledge-graph decoders: TransE and ComplEx.
+//!
+//! Marius (the system MariusGNN extends) ships several score functions besides
+//! DistMult; the paper's evaluation uses DistMult, but these two are part of the
+//! substrate a downstream user of a Marius-style system expects, and they slot
+//! into the same training path: score positives, score a shared negative pool,
+//! and back-propagate into node representations and relation parameters.
+
+use crate::optimizer::Param;
+use marius_graph::RelId;
+use marius_tensor::{uniform_init, Tensor};
+use rand::Rng;
+
+/// TransE: `score(s, r, o) = -|| s + r - o ||₁` (higher is better).
+#[derive(Debug)]
+pub struct TransE {
+    relations: Param,
+    dim: usize,
+}
+
+impl TransE {
+    /// Creates a TransE decoder with `num_relations` translation vectors.
+    pub fn new<R: Rng + ?Sized>(num_relations: usize, dim: usize, rng: &mut R) -> Self {
+        TransE {
+            relations: Param::new("transe.relations", uniform_init(rng, num_relations.max(1), dim, 0.5)),
+            dim,
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The relation parameter (for the optimizer).
+    pub fn relation_param_mut(&mut self) -> &mut Param {
+        &mut self.relations
+    }
+
+    fn relation_row(&self, rel: RelId) -> &[f32] {
+        self.relations
+            .value
+            .row(rel as usize % self.relations.value.rows())
+    }
+
+    /// Scores positive triples; returns a `(B, 1)` tensor.
+    pub fn score_positive(&self, src: &Tensor, rels: &[RelId], dst: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(src.rows(), 1);
+        for b in 0..src.rows() {
+            let r = self.relation_row(rels[b]);
+            let mut dist = 0.0f32;
+            for d in 0..self.dim {
+                dist += (src.get(b, d) + r[d] - dst.get(b, d)).abs();
+            }
+            out.set(b, 0, -dist);
+        }
+        out
+    }
+
+    /// Scores every positive source against a shared pool of negatives; returns
+    /// a `(B, N)` tensor.
+    pub fn score_negatives(&self, src: &Tensor, rels: &[RelId], negatives: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(src.rows(), negatives.rows());
+        for b in 0..src.rows() {
+            let r = self.relation_row(rels[b]);
+            for n in 0..negatives.rows() {
+                let mut dist = 0.0f32;
+                for d in 0..self.dim {
+                    dist += (src.get(b, d) + r[d] - negatives.get(n, d)).abs();
+                }
+                out.set(b, n, -dist);
+            }
+        }
+        out
+    }
+
+    /// Backward pass for positive scores; returns `(grad_src, grad_dst)` and
+    /// accumulates relation gradients.
+    pub fn backward_positive(
+        &mut self,
+        src: &Tensor,
+        rels: &[RelId],
+        dst: &Tensor,
+        grad_scores: &Tensor,
+    ) -> (Tensor, Tensor) {
+        let num_rel = self.relations.value.rows();
+        let mut grad_src = Tensor::zeros(src.rows(), self.dim);
+        let mut grad_dst = Tensor::zeros(dst.rows(), self.dim);
+        let mut grad_rel = Tensor::zeros(num_rel, self.dim);
+        for b in 0..src.rows() {
+            let g = grad_scores.get(b, 0);
+            let rel_row = rels[b] as usize % num_rel;
+            for d in 0..self.dim {
+                let diff = src.get(b, d) + self.relations.value.get(rel_row, d) - dst.get(b, d);
+                // d(-|x|)/dx = -sign(x).
+                let s = if diff > 0.0 { 1.0 } else if diff < 0.0 { -1.0 } else { 0.0 };
+                grad_src.set(b, d, -g * s);
+                grad_dst.set(b, d, g * s);
+                let cur = grad_rel.get(rel_row, d);
+                grad_rel.set(rel_row, d, cur - g * s);
+            }
+        }
+        self.relations.accumulate_grad(&grad_rel);
+        (grad_src, grad_dst)
+    }
+}
+
+/// ComplEx: embeddings are complex vectors stored as `[real ; imaginary]`
+/// halves; `score(s, r, o) = Re(<s, r, conj(o)>)`.
+#[derive(Debug)]
+pub struct ComplEx {
+    relations: Param,
+    /// Total embedding dimension (must be even: half real, half imaginary).
+    dim: usize,
+}
+
+impl ComplEx {
+    /// Creates a ComplEx decoder. `dim` must be even.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is odd.
+    pub fn new<R: Rng + ?Sized>(num_relations: usize, dim: usize, rng: &mut R) -> Self {
+        assert!(dim % 2 == 0, "ComplEx requires an even embedding dimension");
+        ComplEx {
+            relations: Param::new(
+                "complex.relations",
+                uniform_init(rng, num_relations.max(1), dim, 0.5),
+            ),
+            dim,
+        }
+    }
+
+    /// Embedding dimension (real + imaginary halves).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The relation parameter (for the optimizer).
+    pub fn relation_param_mut(&mut self) -> &mut Param {
+        &mut self.relations
+    }
+
+    fn relation_row(&self, rel: RelId) -> &[f32] {
+        self.relations
+            .value
+            .row(rel as usize % self.relations.value.rows())
+    }
+
+    /// The ComplEx triple score for one row triple.
+    fn triple_score(&self, s: &[f32], r: &[f32], o: &[f32]) -> f32 {
+        let h = self.dim / 2;
+        let mut score = 0.0f32;
+        for d in 0..h {
+            let (sr, si) = (s[d], s[h + d]);
+            let (rr, ri) = (r[d], r[h + d]);
+            let (or, oi) = (o[d], o[h + d]);
+            // Re(<s, r, conj(o)>) expanded.
+            score += rr * sr * or + rr * si * oi + ri * sr * oi - ri * si * or;
+        }
+        score
+    }
+
+    /// Scores positive triples; returns a `(B, 1)` tensor.
+    pub fn score_positive(&self, src: &Tensor, rels: &[RelId], dst: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(src.rows(), 1);
+        for b in 0..src.rows() {
+            out.set(
+                b,
+                0,
+                self.triple_score(src.row(b), self.relation_row(rels[b]), dst.row(b)),
+            );
+        }
+        out
+    }
+
+    /// Scores every positive source against a shared pool of negatives; returns
+    /// a `(B, N)` tensor.
+    pub fn score_negatives(&self, src: &Tensor, rels: &[RelId], negatives: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(src.rows(), negatives.rows());
+        for b in 0..src.rows() {
+            let r = self.relation_row(rels[b]);
+            for n in 0..negatives.rows() {
+                out.set(b, n, self.triple_score(src.row(b), r, negatives.row(n)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transe_perfect_translation_scores_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = TransE::new(1, 3, &mut rng);
+        t.relation_param_mut()
+            .value
+            .row_mut(0)
+            .copy_from_slice(&[1.0, 0.0, -1.0]);
+        let src = Tensor::from_rows(&[&[0.0, 2.0, 3.0]]);
+        let dst = Tensor::from_rows(&[&[1.0, 2.0, 2.0]]);
+        let s = t.score_positive(&src, &[0], &dst);
+        assert_eq!(s.get(0, 0), 0.0);
+        // A corrupted destination scores strictly lower.
+        let neg = Tensor::from_rows(&[&[5.0, 5.0, 5.0]]);
+        let ns = t.score_negatives(&src, &[0], &neg);
+        assert!(ns.get(0, 0) < 0.0);
+    }
+
+    #[test]
+    fn transe_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut t = TransE::new(2, 4, &mut rng);
+        let src = Tensor::from_rows(&[&[0.3, -0.2, 0.5, 0.1]]);
+        let dst = Tensor::from_rows(&[&[0.1, 0.4, -0.3, 0.2]]);
+        let rels = vec![1u32];
+        let grad_scores = Tensor::from_rows(&[&[1.0]]);
+        let (g_src, g_dst) = t.backward_positive(&src, &rels, &dst, &grad_scores);
+        let eps = 1e-3f32;
+        for d in 0..4 {
+            let mut p = src.clone();
+            p.set(0, d, p.get(0, d) + eps);
+            let mut m = src.clone();
+            m.set(0, d, m.get(0, d) - eps);
+            let numeric =
+                (t.score_positive(&p, &rels, &dst).get(0, 0) - t.score_positive(&m, &rels, &dst).get(0, 0))
+                    / (2.0 * eps);
+            assert!((numeric - g_src.get(0, d)).abs() < 1e-2, "src {d}");
+
+            let mut p = dst.clone();
+            p.set(0, d, p.get(0, d) + eps);
+            let mut m = dst.clone();
+            m.set(0, d, m.get(0, d) - eps);
+            let numeric =
+                (t.score_positive(&src, &rels, &p).get(0, 0) - t.score_positive(&src, &rels, &m).get(0, 0))
+                    / (2.0 * eps);
+            assert!((numeric - g_dst.get(0, d)).abs() < 1e-2, "dst {d}");
+        }
+    }
+
+    #[test]
+    fn complex_symmetric_relation_behaviour() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = ComplEx::new(1, 4, &mut rng);
+        // A purely real relation makes the score symmetric in (s, o).
+        c.relation_param_mut()
+            .value
+            .row_mut(0)
+            .copy_from_slice(&[1.0, 1.0, 0.0, 0.0]);
+        let a = Tensor::from_rows(&[&[0.3, -0.7, 0.2, 0.9]]);
+        let b = Tensor::from_rows(&[&[-0.4, 0.5, 0.8, -0.1]]);
+        let ab = c.score_positive(&a, &[0], &b).get(0, 0);
+        let ba = c.score_positive(&b, &[0], &a).get(0, 0);
+        assert!((ab - ba).abs() < 1e-5);
+        // A purely imaginary relation makes it antisymmetric.
+        c.relation_param_mut()
+            .value
+            .row_mut(0)
+            .copy_from_slice(&[0.0, 0.0, 1.0, 1.0]);
+        let ab = c.score_positive(&a, &[0], &b).get(0, 0);
+        let ba = c.score_positive(&b, &[0], &a).get(0, 0);
+        assert!((ab + ba).abs() < 1e-5);
+    }
+
+    #[test]
+    fn complex_negative_scores_match_positive_path() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = ComplEx::new(3, 6, &mut rng);
+        let src = Tensor::from_rows(&[&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6]]);
+        let cand = Tensor::from_rows(&[&[0.6, 0.5, 0.4, 0.3, 0.2, 0.1]]);
+        let via_negatives = c.score_negatives(&src, &[2], &cand).get(0, 0);
+        let via_positive = c.score_positive(&src, &[2], &cand).get(0, 0);
+        assert!((via_negatives - via_positive).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "even embedding dimension")]
+    fn complex_rejects_odd_dimension() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = ComplEx::new(1, 5, &mut rng);
+    }
+}

@@ -1,0 +1,231 @@
+//! A GCN-style layer (Kipf & Welling, 2016) over DENSE samples.
+//!
+//! `h_out = act( W · ( (h_self + Σ h_nbrs) / (deg + 1) ) + b )` — a single shared
+//! projection over the degree-normalised sum of the node itself and its sampled
+//! neighbours. Included as the third encoder option referenced in the paper's
+//! related-work discussion and used by the ablation benches.
+
+use super::{add_into_rows, GnnLayer, LayerCache, LayerContext};
+use crate::optimizer::Param;
+use marius_tensor::segment::{index_add, index_select, segment_expand, segment_sum};
+use marius_tensor::{glorot_uniform, Tensor};
+use rand::Rng;
+
+/// A GCN encoder layer with mean-style normalisation over the sampled closed
+/// neighbourhood (self plus neighbours).
+#[derive(Debug)]
+pub struct GcnLayer {
+    weight: Param,
+    bias: Param,
+    activation: bool,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl GcnLayer {
+    /// Creates a GCN layer with Glorot-initialised weights.
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        out_dim: usize,
+        activation: bool,
+        rng: &mut R,
+    ) -> Self {
+        GcnLayer {
+            weight: Param::new("gcn.weight", glorot_uniform(rng, in_dim, out_dim)),
+            bias: Param::new("gcn.bias", Tensor::zeros(1, out_dim)),
+            activation,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Normalisation factor per output node: `1 / (deg + 1)`.
+    fn norms(ctx: &LayerContext) -> Vec<f32> {
+        ctx.segment_counts()
+            .iter()
+            .map(|&c| 1.0 / (c as f32 + 1.0))
+            .collect()
+    }
+}
+
+impl GnnLayer for GcnLayer {
+    fn forward(&self, ctx: &LayerContext, input: &Tensor) -> (Tensor, LayerCache) {
+        let nbr_repr = index_select(input, &ctx.repr_map).expect("repr_map in range");
+        let nbr_sum = segment_sum(&nbr_repr, &ctx.nbr_offsets).expect("valid offsets");
+        let self_repr = input
+            .slice_rows(ctx.self_offset, input.rows())
+            .expect("self rows in range");
+        let mut combined = nbr_sum.add(&self_repr).expect("matching dims");
+        let norms = Self::norms(ctx);
+        for (j, &n) in norms.iter().enumerate() {
+            for x in combined.row_mut(j) {
+                *x *= n;
+            }
+        }
+        let pre = combined
+            .matmul(&self.weight.value)
+            .add_row_broadcast(&self.bias.value)
+            .expect("bias dims");
+        let out = if self.activation {
+            pre.relu()
+        } else {
+            pre.clone()
+        };
+        (out, LayerCache::new(vec![combined, pre]))
+    }
+
+    fn backward(
+        &mut self,
+        ctx: &LayerContext,
+        cache: &LayerCache,
+        _input: &Tensor,
+        grad_output: &Tensor,
+    ) -> Tensor {
+        let combined = &cache.tensors[0];
+        let pre = &cache.tensors[1];
+
+        let grad_pre = if self.activation {
+            grad_output
+                .mul(&pre.relu_grad_mask())
+                .expect("activation mask shape")
+        } else {
+            grad_output.clone()
+        };
+
+        self.bias.accumulate_grad(&grad_pre.sum_rows());
+        self.weight
+            .accumulate_grad(&combined.transpose().matmul(&grad_pre));
+
+        // Gradient w.r.t. the normalised combined representation.
+        let mut grad_combined = grad_pre.matmul(&self.weight.value.transpose());
+        let norms = Self::norms(ctx);
+        for (j, &n) in norms.iter().enumerate() {
+            for x in grad_combined.row_mut(j) {
+                *x *= n;
+            }
+        }
+
+        // The combined rep is self + Σ neighbours, so the gradient fans out to
+        // both with the same value.
+        let grad_nbr_rows = segment_expand(&grad_combined, &ctx.nbr_offsets, ctx.num_edges())
+            .expect("segment expand shapes");
+        let mut grad_input = index_add(
+            ctx.num_input_rows,
+            self.in_dim,
+            &ctx.repr_map,
+            &grad_nbr_rows,
+        )
+        .expect("index_add shapes");
+        add_into_rows(&mut grad_input, ctx.self_offset, &grad_combined);
+        grad_input
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn input_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    fn name(&self) -> &'static str {
+        "gcn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_context() -> LayerContext {
+        LayerContext {
+            repr_map: vec![0, 1, 2],
+            nbr_offsets: vec![0, 2, 3],
+            nbr_rels: vec![0, 0, 0],
+            self_offset: 1,
+            num_input_rows: 4,
+        }
+    }
+
+    fn toy_input() -> Tensor {
+        Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[0.5, -0.5]])
+    }
+
+    #[test]
+    fn forward_normalises_by_closed_degree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = GcnLayer::new(2, 2, false, &mut rng);
+        layer.weight.value = Tensor::eye(2);
+        layer.bias.value = Tensor::zeros(1, 2);
+        let (out, _) = layer.forward(&toy_context(), &toy_input());
+        // Output 0: (self [0,1] + [1,0] + [0,1]) / 3 = [1/3, 2/3].
+        assert!((out.get(0, 0) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((out.get(0, 1) - 2.0 / 3.0).abs() < 1e-6);
+        // Output 2 has no neighbours: self / 1.
+        assert_eq!(out.row(2), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn gradient_check_input_and_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = GcnLayer::new(2, 3, true, &mut rng);
+        let ctx = toy_context();
+        let input = toy_input();
+        let (out, cache) = layer.forward(&ctx, &input);
+        let grad_out = Tensor::ones(out.rows(), out.cols());
+        let grad_input = layer.backward(&ctx, &cache, &input, &grad_out);
+        let analytic_w = layer.weight.grad.clone();
+
+        let eps = 1e-3f32;
+        for r in 0..input.rows() {
+            for c in 0..input.cols() {
+                let mut plus = input.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                let mut minus = input.clone();
+                minus.set(r, c, minus.get(r, c) - eps);
+                let numeric = (layer.forward(&ctx, &plus).0.sum()
+                    - layer.forward(&ctx, &minus).0.sum())
+                    / (2.0 * eps);
+                assert!(
+                    (numeric - grad_input.get(r, c)).abs() < 2e-2,
+                    "input grad ({r},{c})"
+                );
+            }
+        }
+        for r in 0..2 {
+            for c in 0..3 {
+                let orig = layer.weight.value.get(r, c);
+                layer.weight.value.set(r, c, orig + eps);
+                let lp = layer.forward(&ctx, &input).0.sum();
+                layer.weight.value.set(r, c, orig - eps);
+                let lm = layer.forward(&ctx, &input).0.sum();
+                layer.weight.value.set(r, c, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic_w.get(r, c)).abs() < 2e-2,
+                    "weight grad ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metadata() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = GcnLayer::new(4, 6, true, &mut rng);
+        assert_eq!(layer.input_dim(), 4);
+        assert_eq!(layer.output_dim(), 6);
+        assert_eq!(layer.name(), "gcn");
+        assert_eq!(layer.num_parameters(), 4 * 6 + 6);
+    }
+}

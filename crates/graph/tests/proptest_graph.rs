@@ -1,0 +1,88 @@
+//! Property-based tests of the graph substrates: CSR construction, the
+//! dual-sorted in-memory subgraph, and partition/bucket bookkeeping.
+
+use marius_graph::{Csr, Edge, EdgeList, InMemorySubgraph, Partitioner};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_edge_list() -> impl Strategy<Value = EdgeList> {
+    proptest::collection::vec((0u64..30, 0u64..30, 0u32..3), 1..200).prop_map(|triples| {
+        let edges: Vec<Edge> = triples
+            .into_iter()
+            .map(|(s, d, r)| Edge::with_rel(s, r, d))
+            .collect();
+        EdgeList::from_edges(30, 3, edges).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR preserves every edge exactly once and degrees match the edge list.
+    #[test]
+    fn csr_is_lossless(el in random_edge_list()) {
+        let csr = Csr::outgoing(&el);
+        prop_assert_eq!(csr.num_entries(), el.num_edges());
+        let degrees = el.out_degrees();
+        for v in 0..el.num_nodes() {
+            prop_assert_eq!(csr.degree(v), degrees[v as usize] as usize);
+        }
+        let incoming = Csr::incoming(&el);
+        prop_assert_eq!(incoming.num_entries(), el.num_edges());
+    }
+
+    /// The dual-sorted subgraph agrees with the CSR on every node's neighbours
+    /// (as multisets).
+    #[test]
+    fn in_memory_subgraph_agrees_with_csr(el in random_edge_list()) {
+        let csr = Csr::outgoing(&el);
+        let sub = InMemorySubgraph::from_edges(el.edges());
+        for v in 0..el.num_nodes() {
+            let mut a: Vec<u64> = csr.neighbors(v).to_vec();
+            let mut b: Vec<u64> = sub.outgoing(v).iter().map(|e| e.dst).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Partitioning: every node lands in exactly one partition and every edge in
+    /// exactly one bucket, whose key matches its endpoints' partitions.
+    #[test]
+    fn buckets_partition_the_edge_set(
+        el in random_edge_list(),
+        p in 1u32..8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let partitioner = Partitioner::new(p).unwrap();
+        let assignment = partitioner.random(el.num_nodes(), &mut rng);
+        prop_assert_eq!(
+            assignment.partition_sizes().iter().sum::<usize>() as u64,
+            el.num_nodes()
+        );
+        let buckets = partitioner.build_buckets(&el, &assignment).unwrap();
+        let total: usize = buckets.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(total, el.num_edges());
+        for b in &buckets {
+            for e in &b.edges {
+                prop_assert_eq!(assignment.partition_of(e.src), b.src_partition);
+                prop_assert_eq!(assignment.partition_of(e.dst), b.dst_partition);
+            }
+        }
+    }
+
+    /// Edge splits partition the edges without loss or duplication.
+    #[test]
+    fn splits_are_exhaustive_and_disjoint(
+        el in random_edge_list(),
+        valid_pct in 0u32..20,
+        test_pct in 0u32..20,
+    ) {
+        let valid = valid_pct as f64 / 100.0;
+        let test = test_pct as f64 / 100.0;
+        let (train, val, tst) = el.split_edges(valid, test);
+        prop_assert_eq!(train.len() + val.len() + tst.len(), el.num_edges());
+    }
+}

@@ -1,0 +1,474 @@
+//! The partition buffer: the CPU-resident working set of out-of-core training.
+//!
+//! The buffer holds up to `c` physical node partitions (embedding rows plus
+//! optimizer state) and the edge buckets between them. The trainer asks it to
+//! load each `Sᵢ` of an [`crate::policy::EpochPlan`] in turn; the buffer writes
+//! evicted partitions back to the [`PartitionStore`], reads the new ones, and
+//! rebuilds the dual-sorted in-memory subgraph used for neighbourhood sampling
+//! (paper §4.1). Embedding gathers and sparse Adagrad write-backs (Figure 2 steps
+//! 5–6) are served directly from the resident partitions.
+
+use crate::disk::PartitionStore;
+use crate::{Result, StorageError};
+use marius_graph::{Edge, InMemorySubgraph, NodeId, PartitionAssignment, PartitionId};
+use marius_tensor::Tensor;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// A resident node partition: embedding rows and Adagrad state for its nodes, in
+/// the order given by `PartitionAssignment::nodes_in`.
+#[derive(Debug, Clone)]
+struct ResidentPartition {
+    values: Vec<f32>,
+    state: Vec<f32>,
+    dirty: bool,
+}
+
+/// The fixed-capacity partition buffer.
+#[derive(Debug)]
+pub struct PartitionBuffer {
+    store: PartitionStore,
+    assignment: PartitionAssignment,
+    dim: usize,
+    capacity: usize,
+    /// Whether embeddings are learnable (link prediction) or fixed features
+    /// (node classification); fixed features skip write-backs entirely.
+    learnable: bool,
+    /// Adagrad learning rate for sparse embedding updates.
+    lr: f32,
+    /// node -> (partition, offset within partition) lookup.
+    node_location: Vec<(PartitionId, u32)>,
+    resident: HashMap<PartitionId, ResidentPartition>,
+    /// Edges of the currently loaded buckets.
+    in_memory_edges: Vec<Edge>,
+    subgraph: InMemorySubgraph,
+    /// Buckets (i, j) currently loaded.
+    loaded_buckets: HashSet<(PartitionId, PartitionId)>,
+}
+
+impl PartitionBuffer {
+    /// Creates a buffer over `store` for the given node-partition assignment.
+    pub fn new(
+        store: PartitionStore,
+        assignment: PartitionAssignment,
+        dim: usize,
+        capacity: usize,
+        learnable: bool,
+    ) -> Self {
+        let mut node_location = vec![(0u32, 0u32); assignment.num_nodes() as usize];
+        for p in 0..assignment.num_partitions() {
+            for (offset, &node) in assignment.nodes_in(p).iter().enumerate() {
+                node_location[node as usize] = (p, offset as u32);
+            }
+        }
+        PartitionBuffer {
+            store,
+            assignment,
+            dim,
+            capacity,
+            learnable,
+            lr: 0.1,
+            node_location,
+            resident: HashMap::new(),
+            in_memory_edges: Vec::new(),
+            subgraph: InMemorySubgraph::from_edges(&[]),
+            loaded_buckets: HashSet::new(),
+        }
+    }
+
+    /// Sets the Adagrad learning rate for embedding write-backs.
+    pub fn with_learning_rate(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Buffer capacity in physical partitions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The partition assignment backing this buffer.
+    pub fn assignment(&self) -> &PartitionAssignment {
+        &self.assignment
+    }
+
+    /// The underlying store (for IO statistics).
+    pub fn store(&self) -> &PartitionStore {
+        &self.store
+    }
+
+    /// Writes initial random embeddings (and zero optimizer state) for every
+    /// partition to disk. Used for learnable-embedding (link prediction) runs.
+    pub fn initialize_random<R: Rng + ?Sized>(&self, init_scale: f32, rng: &mut R) -> Result<()> {
+        for p in 0..self.assignment.num_partitions() {
+            let n = self.assignment.nodes_in(p).len();
+            let mut values = vec![0.0f32; n * self.dim];
+            for v in values.iter_mut() {
+                *v = rng.gen_range(-init_scale..init_scale);
+            }
+            let state = vec![0.0f32; n * self.dim];
+            self.store.write_partition(p, &values, &state)?;
+        }
+        Ok(())
+    }
+
+    /// Writes initial embeddings from a per-node feature source (row-major,
+    /// `dim` floats per node). Used for fixed-feature (node classification) runs.
+    pub fn initialize_from_features(&self, features: &[f32]) -> Result<()> {
+        assert_eq!(
+            features.len(),
+            self.assignment.num_nodes() as usize * self.dim,
+            "feature buffer must cover every node"
+        );
+        for p in 0..self.assignment.num_partitions() {
+            let nodes = self.assignment.nodes_in(p);
+            let mut values = Vec::with_capacity(nodes.len() * self.dim);
+            for &node in nodes {
+                let start = node as usize * self.dim;
+                values.extend_from_slice(&features[start..start + self.dim]);
+            }
+            let state = vec![0.0f32; values.len()];
+            self.store.write_partition(p, &values, &state)?;
+        }
+        Ok(())
+    }
+
+    /// Writes the edge buckets produced by `Partitioner::build_buckets` to disk.
+    pub fn initialize_buckets(&self, buckets: &[marius_graph::EdgeBucket]) -> Result<()> {
+        for b in buckets {
+            if !b.edges.is_empty() {
+                self.store
+                    .write_bucket(b.src_partition, b.dst_partition, &b.edges)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads partition set `set` into the buffer: evicts (writing back) resident
+    /// partitions not in `set`, reads the new ones plus every edge bucket between
+    /// resident partitions, and rebuilds the sampling subgraph.
+    ///
+    /// Returns the number of partitions read from disk.
+    pub fn load_set(&mut self, set: &[PartitionId]) -> Result<usize> {
+        if set.len() > self.capacity {
+            return Err(StorageError::InvalidPlan {
+                reason: format!(
+                    "set of {} partitions exceeds buffer capacity {}",
+                    set.len(),
+                    self.capacity
+                ),
+            });
+        }
+        let wanted: HashSet<PartitionId> = set.iter().copied().collect();
+
+        // Evict partitions that are no longer wanted.
+        let to_evict: Vec<PartitionId> = self
+            .resident
+            .keys()
+            .copied()
+            .filter(|p| !wanted.contains(p))
+            .collect();
+        for p in to_evict {
+            self.evict(p)?;
+        }
+
+        // Load the missing partitions.
+        let mut loads = 0usize;
+        for &p in set {
+            if !self.resident.contains_key(&p) {
+                let (values, state) = self.store.read_partition(p)?;
+                self.resident.insert(
+                    p,
+                    ResidentPartition {
+                        values,
+                        state,
+                        dirty: false,
+                    },
+                );
+                loads += 1;
+            }
+        }
+
+        // (Re)load every bucket between resident partitions. Buckets already in
+        // memory whose partitions both remain resident are kept.
+        self.loaded_buckets
+            .retain(|(i, j)| wanted.contains(i) && wanted.contains(j));
+        self.in_memory_edges.clear();
+        let mut edges: Vec<Edge> = Vec::new();
+        for &i in set {
+            for &j in set {
+                let bucket_edges = self.store.read_bucket(i, j)?;
+                edges.extend_from_slice(&bucket_edges);
+                self.loaded_buckets.insert((i, j));
+            }
+        }
+        self.in_memory_edges = edges;
+        self.subgraph = InMemorySubgraph::from_edges(&self.in_memory_edges);
+        Ok(loads)
+    }
+
+    fn evict(&mut self, partition: PartitionId) -> Result<()> {
+        if let Some(data) = self.resident.remove(&partition) {
+            if self.learnable && data.dirty {
+                self.store
+                    .write_partition(partition, &data.values, &data.state)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty resident partition back to disk (end of epoch).
+    pub fn flush(&mut self) -> Result<()> {
+        let resident: Vec<PartitionId> = self.resident.keys().copied().collect();
+        for p in resident {
+            if let Some(data) = self.resident.get_mut(&p) {
+                if self.learnable && data.dirty {
+                    self.store.write_partition(p, &data.values, &data.state)?;
+                    data.dirty = false;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The currently resident partitions.
+    pub fn resident_partitions(&self) -> Vec<PartitionId> {
+        let mut v: Vec<PartitionId> = self.resident.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All node ids whose partitions are currently resident (candidates for
+    /// negative sampling and target selection).
+    pub fn resident_nodes(&self) -> Vec<NodeId> {
+        let mut nodes = Vec::new();
+        for &p in self.resident.keys() {
+            nodes.extend_from_slice(self.assignment.nodes_in(p));
+        }
+        nodes
+    }
+
+    /// `true` if the node's partition is currently resident.
+    pub fn is_resident(&self, node: NodeId) -> bool {
+        let (p, _) = self.node_location[node as usize];
+        self.resident.contains_key(&p)
+    }
+
+    /// The dual-sorted in-memory subgraph over the loaded edge buckets.
+    pub fn subgraph(&self) -> &InMemorySubgraph {
+        &self.subgraph
+    }
+
+    /// Number of edges currently in memory.
+    pub fn num_in_memory_edges(&self) -> usize {
+        self.in_memory_edges.len()
+    }
+
+    /// Gathers the embedding rows of `nodes` into a `(nodes.len(), dim)` tensor.
+    ///
+    /// Returns an error if any node's partition is not resident — out-of-core
+    /// training guarantees this never happens because mini batches are built only
+    /// from in-memory edges.
+    pub fn gather(&self, nodes: &[NodeId]) -> Result<Tensor> {
+        let mut out = Tensor::zeros(nodes.len(), self.dim);
+        for (i, &node) in nodes.iter().enumerate() {
+            let (p, offset) = self.node_location[node as usize];
+            let data = self
+                .resident
+                .get(&p)
+                .ok_or_else(|| StorageError::NotResident {
+                    reason: format!("node {node} lives in partition {p} which is not resident"),
+                })?;
+            let start = offset as usize * self.dim;
+            out.row_mut(i)
+                .copy_from_slice(&data.values[start..start + self.dim]);
+        }
+        Ok(out)
+    }
+
+    /// Applies a sparse Adagrad update: `grads` row `i` is the gradient for
+    /// `nodes[i]`. No-op when the buffer wraps fixed (non-learnable) features.
+    pub fn apply_update(&mut self, nodes: &[NodeId], grads: &Tensor) -> Result<()> {
+        if !self.learnable {
+            return Ok(());
+        }
+        assert_eq!(grads.rows(), nodes.len(), "gradient row count mismatch");
+        assert_eq!(grads.cols(), self.dim, "gradient dim mismatch");
+        for (i, &node) in nodes.iter().enumerate() {
+            let (p, offset) = self.node_location[node as usize];
+            let data = self
+                .resident
+                .get_mut(&p)
+                .ok_or_else(|| StorageError::NotResident {
+                    reason: format!("node {node} lives in partition {p} which is not resident"),
+                })?;
+            data.dirty = true;
+            let start = offset as usize * self.dim;
+            for (d, &g) in grads.row(i).iter().enumerate() {
+                let s = &mut data.state[start + d];
+                *s += g * g;
+                data.values[start + d] -= self.lr * g / (s.sqrt() + 1e-10);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marius_graph::{EdgeList, Partitioner};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_buffer(
+        label: &str,
+        num_nodes: u64,
+        p: u32,
+        capacity: usize,
+        learnable: bool,
+    ) -> (PartitionBuffer, Vec<marius_graph::EdgeBucket>) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut el = EdgeList::new(num_nodes);
+        for i in 0..num_nodes {
+            el.push(Edge::new(i, (i + 1) % num_nodes)).unwrap();
+            el.push(Edge::new(i, (i + 5) % num_nodes)).unwrap();
+        }
+        let partitioner = Partitioner::new(p).unwrap();
+        let assignment = partitioner.random(num_nodes, &mut rng);
+        let buckets = partitioner.build_buckets(&el, &assignment).unwrap();
+        let store = PartitionStore::open_temp(label).unwrap();
+        store.clear().unwrap();
+        let buffer = PartitionBuffer::new(store, assignment, 4, capacity, learnable);
+        buffer.initialize_random(0.1, &mut rng).unwrap();
+        buffer.initialize_buckets(&buckets).unwrap();
+        (buffer, buckets)
+    }
+
+    #[test]
+    fn load_set_brings_partitions_and_edges_into_memory() {
+        let (mut buffer, buckets) = build_buffer("load-set", 40, 4, 2, true);
+        let loads = buffer.load_set(&[0, 1]).unwrap();
+        assert_eq!(loads, 2);
+        assert_eq!(buffer.resident_partitions(), vec![0, 1]);
+        // The in-memory edges are exactly the four buckets between 0 and 1.
+        let expected: usize = [(0u32, 0u32), (0, 1), (1, 0), (1, 1)]
+            .iter()
+            .map(|&(i, j)| buckets[(i * 4 + j) as usize].len())
+            .sum();
+        assert_eq!(buffer.num_in_memory_edges(), expected);
+        assert!(buffer.subgraph().num_edges() == expected);
+    }
+
+    #[test]
+    fn load_set_evicts_and_reuses() {
+        let (mut buffer, _) = build_buffer("evict", 40, 4, 2, true);
+        buffer.load_set(&[0, 1]).unwrap();
+        // Partition 0 stays, 2 is new, 1 is evicted.
+        let loads = buffer.load_set(&[0, 2]).unwrap();
+        assert_eq!(loads, 1);
+        assert_eq!(buffer.resident_partitions(), vec![0, 2]);
+        assert!(buffer.is_resident(buffer.assignment().nodes_in(2)[0]));
+    }
+
+    #[test]
+    fn load_set_respects_capacity() {
+        let (mut buffer, _) = build_buffer("capacity", 40, 4, 2, true);
+        assert!(buffer.load_set(&[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn gather_returns_rows_for_resident_nodes_only() {
+        let (mut buffer, _) = build_buffer("gather", 40, 4, 2, true);
+        buffer.load_set(&[1, 3]).unwrap();
+        let nodes = buffer.assignment().nodes_in(1).to_vec();
+        let t = buffer.gather(&nodes[..3]).unwrap();
+        assert_eq!(t.shape(), (3, 4));
+        // A node from a non-resident partition errors.
+        let outside = buffer.assignment().nodes_in(0)[0];
+        assert!(buffer.gather(&[outside]).is_err());
+    }
+
+    #[test]
+    fn updates_persist_across_eviction_and_reload() {
+        let (mut buffer, _) = build_buffer("persist", 40, 4, 2, true);
+        buffer.load_set(&[0, 1]).unwrap();
+        let node = buffer.assignment().nodes_in(0)[0];
+        let before = buffer.gather(&[node]).unwrap();
+        let grad = Tensor::ones(1, 4);
+        buffer.apply_update(&[node], &grad).unwrap();
+        let after_update = buffer.gather(&[node]).unwrap();
+        assert_ne!(before, after_update);
+        // Evict partition 0, then bring it back: the update must have been
+        // written to disk and read back.
+        buffer.load_set(&[1, 2]).unwrap();
+        buffer.load_set(&[0, 1]).unwrap();
+        let reloaded = buffer.gather(&[node]).unwrap();
+        assert_eq!(after_update, reloaded);
+    }
+
+    #[test]
+    fn non_learnable_buffer_skips_updates_and_writebacks() {
+        let (mut buffer, _) = build_buffer("fixed", 40, 4, 2, false);
+        buffer.load_set(&[0, 1]).unwrap();
+        let node = buffer.assignment().nodes_in(0)[0];
+        let before = buffer.gather(&[node]).unwrap();
+        buffer.apply_update(&[node], &Tensor::ones(1, 4)).unwrap();
+        let after = buffer.gather(&[node]).unwrap();
+        assert_eq!(before, after);
+        let writes_before = buffer.store().io_stats().writes;
+        buffer.flush().unwrap();
+        assert_eq!(buffer.store().io_stats().writes, writes_before);
+    }
+
+    #[test]
+    fn initialize_from_features_places_rows_by_node_id() {
+        let num_nodes = 12u64;
+        let dim = 4usize;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut el = EdgeList::new(num_nodes);
+        for i in 0..num_nodes {
+            el.push(Edge::new(i, (i + 1) % num_nodes)).unwrap();
+        }
+        let partitioner = Partitioner::new(3).unwrap();
+        let assignment = partitioner.random(num_nodes, &mut rng);
+        let buckets = partitioner.build_buckets(&el, &assignment).unwrap();
+        let store = PartitionStore::open_temp("features").unwrap();
+        store.clear().unwrap();
+        let mut buffer = PartitionBuffer::new(store, assignment, dim, 3, false);
+        // Feature of node n is [n, n, n, n].
+        let features: Vec<f32> = (0..num_nodes).flat_map(|n| vec![n as f32; dim]).collect();
+        buffer.initialize_from_features(&features).unwrap();
+        buffer.initialize_buckets(&buckets).unwrap();
+        buffer.load_set(&[0, 1, 2]).unwrap();
+        let t = buffer.gather(&[7, 2]).unwrap();
+        assert_eq!(t.row(0), &[7.0, 7.0, 7.0, 7.0]);
+        assert_eq!(t.row(1), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn io_stats_reflect_partition_traffic() {
+        let (mut buffer, _) = build_buffer("iostats", 40, 4, 2, true);
+        buffer.store().reset_io_stats();
+        buffer.load_set(&[0, 1]).unwrap();
+        let stats = buffer.store().io_stats();
+        assert!(stats.reads >= 2);
+        assert!(stats.bytes_read > 0);
+    }
+
+    #[test]
+    fn resident_nodes_lists_every_node_of_resident_partitions() {
+        let (mut buffer, _) = build_buffer("resident-nodes", 40, 4, 2, true);
+        buffer.load_set(&[2, 3]).unwrap();
+        let nodes = buffer.resident_nodes();
+        let expected =
+            buffer.assignment().nodes_in(2).len() + buffer.assignment().nodes_in(3).len();
+        assert_eq!(nodes.len(), expected);
+        assert!(nodes.iter().all(|&n| buffer.is_resident(n)));
+    }
+}

@@ -1,0 +1,325 @@
+//! On-disk partition and edge-bucket files.
+//!
+//! The authoritative copy of the graph during out-of-core training lives on disk:
+//! one file per node partition (embedding rows plus Adagrad state, stored
+//! contiguously) and one file per edge bucket `(i, j)` (fixed-width binary edge
+//! records). Files are plain little-endian buffers so reads and writes are single
+//! sequential transfers — the access pattern whose size §6 reasons about when it
+//! bounds the number of physical partitions.
+
+use crate::{Result, StorageError};
+use marius_graph::{Edge, PartitionId};
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters describing the IO a [`PartitionStore`] has performed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Total bytes read from disk.
+    pub bytes_read: u64,
+    /// Total bytes written to disk.
+    pub bytes_written: u64,
+    /// Number of read operations.
+    pub reads: u64,
+    /// Number of write operations.
+    pub writes: u64,
+    /// Size in bytes of the smallest read performed (0 if none yet).
+    pub min_read_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct IoCounters {
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    min_read_bytes: AtomicU64,
+}
+
+impl IoCounters {
+    fn record_read(&self, bytes: u64) {
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        // Track the minimum non-zero read size.
+        let mut current = self.min_read_bytes.load(Ordering::Relaxed);
+        loop {
+            if current != 0 && current <= bytes {
+                break;
+            }
+            match self.min_read_bytes.compare_exchange(
+                current,
+                bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(v) => current = v,
+            }
+        }
+    }
+
+    fn record_write(&self, bytes: u64) {
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            min_read_bytes: self.min_read_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A directory of node-partition and edge-bucket files with instrumented IO.
+#[derive(Debug, Clone)]
+pub struct PartitionStore {
+    root: PathBuf,
+    counters: Arc<IoCounters>,
+}
+
+impl PartitionStore {
+    /// Opens (creating if necessary) a partition store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        fs::create_dir_all(root.as_ref())?;
+        Ok(PartitionStore {
+            root: root.as_ref().to_path_buf(),
+            counters: Arc::new(IoCounters::default()),
+        })
+    }
+
+    /// Opens a store in a fresh unique subdirectory of the system temp dir.
+    /// Useful for tests and examples.
+    pub fn open_temp(label: &str) -> Result<Self> {
+        let unique = format!(
+            "marius-store-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        );
+        let dir = std::env::temp_dir().join(unique);
+        Self::open(dir)
+    }
+
+    /// The root directory of the store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Returns a snapshot of the IO counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.counters.snapshot()
+    }
+
+    /// Resets the IO counters (used between epochs by the experiment harnesses).
+    pub fn reset_io_stats(&self) {
+        self.counters.bytes_read.store(0, Ordering::Relaxed);
+        self.counters.bytes_written.store(0, Ordering::Relaxed);
+        self.counters.reads.store(0, Ordering::Relaxed);
+        self.counters.writes.store(0, Ordering::Relaxed);
+        self.counters.min_read_bytes.store(0, Ordering::Relaxed);
+    }
+
+    fn partition_path(&self, id: PartitionId) -> PathBuf {
+        self.root.join(format!("node_partition_{id}.bin"))
+    }
+
+    fn bucket_path(&self, src: PartitionId, dst: PartitionId) -> PathBuf {
+        self.root.join(format!("edge_bucket_{src}_{dst}.bin"))
+    }
+
+    /// Writes a node partition: `values` and `state` are the embedding rows and
+    /// optimizer state, stored back to back.
+    pub fn write_partition(&self, id: PartitionId, values: &[f32], state: &[f32]) -> Result<()> {
+        let mut buf = Vec::with_capacity(8 + (values.len() + state.len()) * 4);
+        buf.extend_from_slice(&(values.len() as u64).to_le_bytes());
+        for v in values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        for s in state {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        let mut file = fs::File::create(self.partition_path(id))?;
+        file.write_all(&buf)?;
+        self.counters.record_write(buf.len() as u64);
+        Ok(())
+    }
+
+    /// Reads a node partition back as `(values, state)`.
+    pub fn read_partition(&self, id: PartitionId) -> Result<(Vec<f32>, Vec<f32>)> {
+        let path = self.partition_path(id);
+        let mut file = fs::File::open(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StorageError::NotResident {
+                    reason: format!("node partition {id} has no file at {}", path.display()),
+                }
+            } else {
+                StorageError::Io(e)
+            }
+        })?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        self.counters.record_read(buf.len() as u64);
+        if buf.len() < 8 {
+            return Err(StorageError::NotResident {
+                reason: format!("partition {id} file is truncated"),
+            });
+        }
+        let value_len = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes")) as usize;
+        let floats: Vec<f32> = buf[8..]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        if floats.len() < value_len {
+            return Err(StorageError::NotResident {
+                reason: format!("partition {id} file is shorter than its header claims"),
+            });
+        }
+        let values = floats[..value_len].to_vec();
+        let state = floats[value_len..].to_vec();
+        Ok((values, state))
+    }
+
+    /// Writes an edge bucket as fixed-width records.
+    pub fn write_bucket(&self, src: PartitionId, dst: PartitionId, edges: &[Edge]) -> Result<()> {
+        let mut buf = Vec::with_capacity(edges.len() * Edge::DISK_BYTES);
+        for e in edges {
+            buf.extend_from_slice(&e.src.to_le_bytes());
+            buf.extend_from_slice(&e.dst.to_le_bytes());
+            buf.extend_from_slice(&e.rel.to_le_bytes());
+        }
+        let mut file = fs::File::create(self.bucket_path(src, dst))?;
+        file.write_all(&buf)?;
+        self.counters.record_write(buf.len() as u64);
+        Ok(())
+    }
+
+    /// Reads an edge bucket. A missing file is treated as an empty bucket (empty
+    /// buckets are common and not all of them are materialised).
+    pub fn read_bucket(&self, src: PartitionId, dst: PartitionId) -> Result<Vec<Edge>> {
+        let path = self.bucket_path(src, dst);
+        let buf = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(StorageError::Io(e)),
+        };
+        self.counters.record_read(buf.len().max(1) as u64);
+        let mut edges = Vec::with_capacity(buf.len() / Edge::DISK_BYTES);
+        for rec in buf.chunks_exact(Edge::DISK_BYTES) {
+            let src_id = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+            let dst_id = u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
+            let rel = u32::from_le_bytes(rec[16..20].try_into().expect("4 bytes"));
+            edges.push(Edge::with_rel(src_id, rel, dst_id));
+        }
+        Ok(edges)
+    }
+
+    /// Deletes every file in the store (used by tests and example cleanup).
+    pub fn clear(&self) -> Result<()> {
+        if self.root.exists() {
+            for entry in fs::read_dir(&self.root)? {
+                let entry = entry?;
+                if entry.path().is_file() {
+                    fs::remove_file(entry.path())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(label: &str) -> PartitionStore {
+        let store = PartitionStore::open_temp(label).unwrap();
+        store.clear().unwrap();
+        store
+    }
+
+    #[test]
+    fn partition_roundtrip() {
+        let store = temp_store("part-roundtrip");
+        let values = vec![1.0f32, -2.5, 3.25, 0.0];
+        let state = vec![0.5f32, 0.5, 0.5, 0.5];
+        store.write_partition(3, &values, &state).unwrap();
+        let (v, s) = store.read_partition(3).unwrap();
+        assert_eq!(v, values);
+        assert_eq!(s, state);
+    }
+
+    #[test]
+    fn missing_partition_is_an_error() {
+        let store = temp_store("missing-part");
+        let err = store.read_partition(42).unwrap_err();
+        assert!(format!("{err}").contains("42"));
+    }
+
+    #[test]
+    fn bucket_roundtrip_and_missing_bucket_is_empty() {
+        let store = temp_store("bucket-roundtrip");
+        let edges = vec![Edge::with_rel(7, 2, 9), Edge::new(1, 1)];
+        store.write_bucket(0, 1, &edges).unwrap();
+        assert_eq!(store.read_bucket(0, 1).unwrap(), edges);
+        assert!(store.read_bucket(5, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn io_stats_track_reads_and_writes() {
+        let store = temp_store("io-stats");
+        store.write_partition(0, &[1.0; 16], &[0.0; 16]).unwrap();
+        store.write_bucket(0, 0, &[Edge::new(0, 1)]).unwrap();
+        let _ = store.read_partition(0).unwrap();
+        let _ = store.read_bucket(0, 0).unwrap();
+        let stats = store.io_stats();
+        assert_eq!(stats.writes, 2);
+        assert_eq!(stats.reads, 2);
+        assert!(stats.bytes_written > 0);
+        assert!(stats.bytes_read > 0);
+        assert!(stats.min_read_bytes > 0);
+        store.reset_io_stats();
+        assert_eq!(store.io_stats(), IoStats::default());
+    }
+
+    #[test]
+    fn min_read_tracks_smallest_read() {
+        let store = temp_store("min-read");
+        store.write_partition(0, &[1.0; 100], &[0.0; 100]).unwrap();
+        store.write_partition(1, &[1.0; 2], &[0.0; 2]).unwrap();
+        let _ = store.read_partition(0).unwrap();
+        let big_min = store.io_stats().min_read_bytes;
+        let _ = store.read_partition(1).unwrap();
+        assert!(store.io_stats().min_read_bytes < big_min);
+    }
+
+    #[test]
+    fn overwrite_partition_replaces_content() {
+        let store = temp_store("overwrite");
+        store.write_partition(0, &[1.0], &[2.0]).unwrap();
+        store.write_partition(0, &[9.0, 9.0], &[1.0, 1.0]).unwrap();
+        let (v, s) = store.read_partition(0).unwrap();
+        assert_eq!(v, vec![9.0, 9.0]);
+        assert_eq!(s, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn clear_removes_files() {
+        let store = temp_store("clear");
+        store.write_partition(0, &[1.0], &[1.0]).unwrap();
+        store.clear().unwrap();
+        assert!(store.read_partition(0).is_err());
+    }
+
+    #[test]
+    fn empty_bucket_roundtrip() {
+        let store = temp_store("empty-bucket");
+        store.write_bucket(2, 3, &[]).unwrap();
+        assert!(store.read_bucket(2, 3).unwrap().is_empty());
+    }
+}

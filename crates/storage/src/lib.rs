@@ -1,0 +1,93 @@
+//! Out-of-core storage layer for the MariusGNN reproduction.
+//!
+//! This crate implements the paper's storage layer (Figure 2, steps A–D):
+//!
+//! * [`disk::PartitionStore`] — node partitions (embedding values plus optimizer
+//!   state) and edge buckets persisted as flat binary files, with an
+//!   instrumented IO counter so experiments can report bytes moved, read counts
+//!   and the smallest read size (the quantities §6 reasons about).
+//! * [`buffer::PartitionBuffer`] — the fixed-capacity CPU buffer that holds `c`
+//!   physical partitions and the `c²` edge buckets between them, swaps
+//!   partitions according to a replacement policy, and serves embedding
+//!   gathers/updates for mini-batch training.
+//! * [`policy`] — partition replacement and mini-batch assignment policies:
+//!   [`policy::CometPolicy`] (the paper's contribution, §5.1),
+//!   [`policy::BetaPolicy`] (the prior state of the art from Marius, used as the
+//!   baseline in Table 8), a trivial in-memory policy, and the training-node
+//!   caching policy for node classification (§5.2).
+//! * [`tuning`] — the Edge Permutation Bias metric `B` (§6) and the auto-tuning
+//!   rules that pick the number of physical partitions `p`, logical partitions
+//!   `l` and buffer capacity `c`.
+//! * [`io_model::IoCostModel`] — a bandwidth/IOPS/block-size model of the
+//!   paper's EBS volume used by the benchmark harnesses to translate measured IO
+//!   volume into epoch-time analogues.
+
+pub mod buffer;
+pub mod disk;
+pub mod io_model;
+pub mod policy;
+pub mod tuning;
+
+pub use buffer::PartitionBuffer;
+pub use disk::{IoStats, PartitionStore};
+pub use io_model::IoCostModel;
+pub use policy::{BetaPolicy, CometPolicy, EpochPlan, InMemoryPolicy, NodeCachePolicy};
+pub use tuning::{auto_tune, edge_permutation_bias, TuningConfig};
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A request referenced a partition or bucket that is not resident/known.
+    NotResident {
+        /// Human readable description.
+        reason: String,
+    },
+    /// A policy was asked to produce an invalid plan (for example a buffer
+    /// capacity larger than the partition count).
+    InvalidPlan {
+        /// Human readable description.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::NotResident { reason } => write!(f, "not resident: {reason}"),
+            StorageError::InvalidPlan { reason } => write!(f, "invalid plan: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = StorageError::NotResident {
+            reason: "partition 3".into(),
+        };
+        assert!(format!("{e}").contains("partition 3"));
+        let e = StorageError::InvalidPlan {
+            reason: "capacity".into(),
+        };
+        assert!(format!("{e}").contains("capacity"));
+        let e: StorageError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(format!("{e}").contains("gone"));
+    }
+}

@@ -1,0 +1,247 @@
+//! The COMET policy (COrrelation Minimizing Edge Traversal), the paper's §5.1
+//! contribution.
+//!
+//! COMET combines two mechanisms:
+//!
+//! 1. **Two-level partitioning** — physical partitions on disk are randomly
+//!    grouped into larger *logical* partitions at the start of every epoch, and
+//!    the greedy one-swap coverage sequence is generated over logical partitions.
+//!    Small physical partitions keep fewer nodes pinned together for the whole
+//!    epoch while large logical partitions keep the turnover per swap high.
+//! 2. **Deferred random assignment** — every edge bucket is assigned to a set
+//!    chosen uniformly at random among all sets containing both of its
+//!    partitions, instead of the first such set. This shuffles the example order
+//!    and balances the per-step workload so prefetching can overlap IO with
+//!    compute throughout the epoch.
+
+use super::{greedy_pair_coverage, EpochPlan, ReplacementPolicy};
+use crate::{Result, StorageError};
+use marius_graph::PartitionId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The COMET replacement policy.
+#[derive(Debug, Clone)]
+pub struct CometPolicy {
+    /// Buffer capacity in physical partitions.
+    pub buffer_capacity: usize,
+    /// Number of logical partitions `l` (must divide the physical partition count
+    /// and keep at least two logical partitions in the buffer).
+    pub num_logical: u32,
+}
+
+impl CometPolicy {
+    /// Creates a COMET policy with an explicit number of logical partitions.
+    pub fn new(buffer_capacity: usize, num_logical: u32) -> Self {
+        CometPolicy {
+            buffer_capacity,
+            num_logical,
+        }
+    }
+
+    /// Creates a COMET policy using the paper's auto-tuning rule `l = 2p / c`
+    /// (so exactly two logical partitions fit in the buffer). For buffer sizes
+    /// that do not divide evenly, the logical partition size is rounded down so
+    /// that two logical partitions always fit.
+    pub fn auto(num_partitions: u32, buffer_capacity: usize) -> Self {
+        // Each logical partition holds at most floor(c / 2) physical partitions,
+        // guaranteeing the buffer can always hold two of them.
+        let per_logical = (buffer_capacity / 2).max(1);
+        let l = (num_partitions as usize).div_ceil(per_logical).max(2) as u32;
+        CometPolicy {
+            buffer_capacity,
+            num_logical: l.min(num_partitions.max(2)),
+        }
+    }
+}
+
+impl ReplacementPolicy for CometPolicy {
+    fn plan<R: Rng + ?Sized>(&self, num_partitions: u32, rng: &mut R) -> Result<EpochPlan> {
+        let p = num_partitions;
+        if p == 0 {
+            return Ok(EpochPlan {
+                partition_sets: vec![],
+                bucket_assignment: vec![],
+            });
+        }
+        let l = self.num_logical.clamp(1, p);
+        // Physical partitions per logical partition (the last logical partition
+        // absorbs any remainder).
+        let per_logical = (p as usize).div_ceil(l as usize);
+        // Logical buffer capacity: how many whole logical partitions fit.
+        let logical_capacity = (self.buffer_capacity / per_logical).max(1);
+        if logical_capacity < 2 && l > 1 {
+            return Err(StorageError::InvalidPlan {
+                reason: format!(
+                    "buffer of {} physical partitions holds fewer than two logical partitions of size {per_logical}",
+                    self.buffer_capacity
+                ),
+            });
+        }
+
+        // Randomly group physical partitions into logical partitions (no data
+        // movement — just an in-memory mapping, §3).
+        let mut physical: Vec<PartitionId> = (0..p).collect();
+        physical.shuffle(rng);
+        let groups: Vec<Vec<PartitionId>> =
+            physical.chunks(per_logical).map(|c| c.to_vec()).collect();
+        let effective_l = groups.len() as u32;
+
+        // Greedy one-swap coverage over the logical partitions.
+        let logical_sets = greedy_pair_coverage(effective_l, logical_capacity, rng)?;
+
+        // Expand logical sets to physical sets.
+        let partition_sets: Vec<Vec<PartitionId>> = logical_sets
+            .iter()
+            .map(|ls| {
+                ls.iter()
+                    .flat_map(|&g| groups[g as usize].iter().copied())
+                    .collect()
+            })
+            .collect();
+
+        // Deferred random assignment: each bucket picks uniformly among the sets
+        // containing both of its partitions.
+        let mut set_of_partition: Vec<Vec<usize>> = vec![Vec::new(); p as usize];
+        for (si, set) in partition_sets.iter().enumerate() {
+            for &part in set {
+                set_of_partition[part as usize].push(si);
+            }
+        }
+        let mut bucket_assignment: Vec<Vec<(PartitionId, PartitionId)>> =
+            vec![Vec::new(); partition_sets.len()];
+        for i in 0..p {
+            for j in 0..p {
+                let sets_i = &set_of_partition[i as usize];
+                let sets_j = &set_of_partition[j as usize];
+                // Intersect the (small) sorted lists of set indices.
+                let mut candidates: Vec<usize> = Vec::new();
+                let mut a = 0usize;
+                let mut b = 0usize;
+                while a < sets_i.len() && b < sets_j.len() {
+                    match sets_i[a].cmp(&sets_j[b]) {
+                        std::cmp::Ordering::Equal => {
+                            candidates.push(sets_i[a]);
+                            a += 1;
+                            b += 1;
+                        }
+                        std::cmp::Ordering::Less => a += 1,
+                        std::cmp::Ordering::Greater => b += 1,
+                    }
+                }
+                if candidates.is_empty() {
+                    return Err(StorageError::InvalidPlan {
+                        reason: format!("bucket ({i},{j}) never co-resident in any set"),
+                    });
+                }
+                let chosen = candidates[rng.gen_range(0..candidates.len())];
+                bucket_assignment[chosen].push((i, j));
+            }
+        }
+
+        Ok(EpochPlan {
+            partition_sets,
+            bucket_assignment,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "comet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn comet_plan_is_valid_for_various_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (p, c, l) in [(8u32, 4usize, 4u32), (16, 4, 8), (12, 6, 4), (16, 8, 4)] {
+            let plan = CometPolicy::new(c, l).plan(p, &mut rng).unwrap();
+            plan.validate(p, c).unwrap();
+        }
+    }
+
+    #[test]
+    fn comet_auto_uses_two_logical_partitions_in_buffer() {
+        let policy = CometPolicy::auto(16, 4);
+        // l = 2p/c = 8, so each logical partition has two physical partitions and
+        // exactly two fit in the buffer of four.
+        assert_eq!(policy.num_logical, 8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let plan = policy.plan(16, &mut rng).unwrap();
+        plan.validate(16, 4).unwrap();
+    }
+
+    #[test]
+    fn comet_workload_is_more_balanced_than_beta() {
+        use crate::policy::BetaPolicy;
+        use crate::policy::ReplacementPolicy as _;
+        let mut rng = StdRng::seed_from_u64(3);
+        let (p, c) = (16u32, 4usize);
+        let comet = CometPolicy::auto(p, c).plan(p, &mut rng).unwrap();
+        let beta = BetaPolicy::new(c).plan(p, &mut rng).unwrap();
+        let imbalance = |plan: &EpochPlan| {
+            let per = plan.buckets_per_step();
+            let max = *per.iter().max().unwrap() as f64;
+            let mean = per.iter().sum::<usize>() as f64 / per.len() as f64;
+            max / mean
+        };
+        assert!(
+            imbalance(&comet) < imbalance(&beta),
+            "COMET should balance buckets across steps better than BETA"
+        );
+    }
+
+    #[test]
+    fn comet_rejects_buffer_smaller_than_two_logical_partitions() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // 16 physical in 4 logical partitions of 4; a buffer of 4 fits only one.
+        let res = CometPolicy::new(4, 4).plan(16, &mut rng);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn comet_with_one_logical_partition_degenerates_to_in_memory() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let plan = CometPolicy::new(8, 1).plan(8, &mut rng).unwrap();
+        assert_eq!(plan.num_sets(), 1);
+        plan.validate(8, 8).unwrap();
+    }
+
+    #[test]
+    fn comet_zero_partitions_is_empty_plan() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let plan = CometPolicy::new(4, 2).plan(0, &mut rng).unwrap();
+        assert_eq!(plan.num_sets(), 0);
+    }
+
+    #[test]
+    fn comet_assignment_differs_across_epochs() {
+        // The random grouping and deferred assignment should differ from epoch to
+        // epoch (this is the randomness that de-correlates training examples).
+        let policy = CometPolicy::auto(16, 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = policy.plan(16, &mut rng).unwrap();
+        let b = policy.plan(16, &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn comet_more_logical_partitions_means_fewer_physical_per_swap_but_more_sets() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let few = CometPolicy::new(8, 4).plan(16, &mut rng).unwrap();
+        let many = CometPolicy::new(8, 8).plan(16, &mut rng).unwrap();
+        // More logical partitions -> more partition sets per epoch (Figure 6b's
+        // "number of subgraphs" trend).
+        assert!(many.num_sets() >= few.num_sets());
+    }
+
+    #[test]
+    fn comet_name() {
+        assert_eq!(CometPolicy::new(4, 2).name(), "comet");
+    }
+}

@@ -1,0 +1,311 @@
+//! The Edge Permutation Bias metric and the auto-tuning rules of paper §6.
+
+use crate::policy::EpochPlan;
+use marius_graph::EdgeBucket;
+
+/// Computes the Edge Permutation Bias `B ∈ [0, 1]` of an epoch plan over the
+/// actual edge buckets of a graph.
+///
+/// Following §6: iterate over the plan's `Xᵢ` in order, keeping a cumulative
+/// per-node tally of how many of its edges have been processed. Tallies are
+/// normalised so that every node ends at 1. After each `Xᵢ` the spread
+/// `dᵢ = max_v t_v − min_v t_v` is recorded; `B` is the maximum spread. A high
+/// `B` means some nodes had almost all their edges processed before other nodes
+/// had any — the correlation that biases SGD.
+///
+/// `buckets` must be the row-major `p × p` bucket list produced by
+/// `marius_graph::Partitioner::build_buckets`.
+pub fn edge_permutation_bias(plan: &EpochPlan, buckets: &[EdgeBucket], num_nodes: u64) -> f64 {
+    let p = (buckets.len() as f64).sqrt().round() as usize;
+    assert_eq!(p * p, buckets.len(), "buckets must form a p x p grid");
+
+    // Final totals per node (only nodes with at least one edge participate).
+    let mut totals = vec![0u64; num_nodes as usize];
+    for b in buckets {
+        for e in &b.edges {
+            totals[e.src as usize] += 1;
+            totals[e.dst as usize] += 1;
+        }
+    }
+
+    let mut tallies = vec![0u64; num_nodes as usize];
+    let mut bias = 0.0f64;
+    for step in &plan.bucket_assignment {
+        for &(i, j) in step {
+            let bucket = &buckets[i as usize * p + j as usize];
+            for e in &bucket.edges {
+                tallies[e.src as usize] += 1;
+                tallies[e.dst as usize] += 1;
+            }
+        }
+        // Spread of normalised tallies after this step.
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in 0..num_nodes as usize {
+            if totals[v] == 0 {
+                continue;
+            }
+            let t = tallies[v] as f64 / totals[v] as f64;
+            if t < min {
+                min = t;
+            }
+            if t > max {
+                max = t;
+            }
+        }
+        if min.is_finite() && max.is_finite() {
+            bias = bias.max(max - min);
+        }
+    }
+    bias
+}
+
+/// The configuration chosen by the auto-tuning rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuningConfig {
+    /// Number of physical partitions `p`.
+    pub physical_partitions: u32,
+    /// Number of logical partitions `l`.
+    pub logical_partitions: u32,
+    /// Buffer capacity `c` in physical partitions.
+    pub buffer_capacity: usize,
+    /// Whether the whole graph fits in CPU memory (in which case disk-based
+    /// training is unnecessary and `c = p`).
+    pub fits_in_memory: bool,
+}
+
+/// Applies the §6 rules to pick `(p, l, c)`.
+///
+/// * `p = α₄ = min(NO / D, sqrt(EO / D))` — the largest partition count whose
+///   smallest disk read still spans a full device block, so more partitions
+///   would start paying random-IO penalties without improving the bias further.
+/// * `c` — the largest buffer such that `c·PO + 2·c²·EBO + F < CPU` (node
+///   partitions plus both sorted copies of the in-memory edge buckets plus a
+///   working-memory fudge factor).
+/// * `l = 2p / c` — exactly two logical partitions resident at a time, the
+///   minimum the swap scheme needs, because fewer logical partitions mean lower
+///   bias and fewer partition sets.
+pub fn auto_tune(
+    num_nodes: u64,
+    feat_dim: usize,
+    num_edges: u64,
+    bytes_per_edge: u64,
+    cpu_mem_bytes: u64,
+    disk_block_bytes: u64,
+    fudge_bytes: u64,
+    learnable_embeddings: bool,
+) -> TuningConfig {
+    // Learned embeddings carry per-element optimizer state alongside the values
+    // (the doubling Table 1 reports), so a partition's footprint is 8 bytes per
+    // element instead of 4.
+    let bytes_per_element: u64 = if learnable_embeddings { 8 } else { 4 };
+    let node_overhead = num_nodes * feat_dim as u64 * bytes_per_element;
+    let edge_overhead = num_edges * bytes_per_edge;
+
+    // Everything fits: a single in-memory "partition set".
+    if node_overhead + 2 * edge_overhead + fudge_bytes <= cpu_mem_bytes {
+        return TuningConfig {
+            physical_partitions: 1,
+            logical_partitions: 1,
+            buffer_capacity: 1,
+            fits_in_memory: true,
+        };
+    }
+
+    let alpha4 = ((node_overhead / disk_block_bytes.max(1)) as f64)
+        .min(((edge_overhead / disk_block_bytes.max(1)) as f64).sqrt());
+    let p = (alpha4.floor() as u32).clamp(2, 4096);
+
+    let partition_overhead = node_overhead as f64 / p as f64;
+    let bucket_overhead = edge_overhead as f64 / (p as f64 * p as f64);
+    // Largest c with c·PO + 2·c²·EBO + F < CPU.
+    let budget = cpu_mem_bytes.saturating_sub(fudge_bytes) as f64;
+    let mut c = 2usize;
+    for candidate in (2..=p as usize).rev() {
+        let cost = candidate as f64 * partition_overhead
+            + 2.0 * (candidate as f64).powi(2) * bucket_overhead;
+        if cost < budget {
+            c = candidate;
+            break;
+        }
+    }
+    let l = ((2 * p as usize).div_ceil(c)).max(2) as u32;
+
+    TuningConfig {
+        physical_partitions: p,
+        logical_partitions: l.min(p),
+        buffer_capacity: c,
+        fits_in_memory: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BetaPolicy, CometPolicy, ReplacementPolicy};
+    use marius_graph::datasets::{DatasetSpec, ScaledDataset};
+    use marius_graph::Partitioner;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn buckets_for(p: u32, seed: u64) -> (Vec<marius_graph::EdgeBucket>, u64) {
+        let spec = DatasetSpec::fb15k_237().scaled(0.05);
+        let data = ScaledDataset::generate(&spec, seed);
+        let partitioner = Partitioner::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let assignment = partitioner.random(data.num_nodes(), &mut rng);
+        let buckets = partitioner.build_buckets(&data.graph, &assignment).unwrap();
+        (buckets, data.num_nodes())
+    }
+
+    #[test]
+    fn bias_of_in_memory_plan_is_low() {
+        // A single step processes everything at once: the spread after the only
+        // step is 0 because every node reaches its total simultaneously.
+        let (buckets, n) = buckets_for(4, 1);
+        let plan = crate::policy::InMemoryPolicy
+            .plan(4, &mut StdRng::seed_from_u64(2))
+            .unwrap();
+        let b = edge_permutation_bias(&plan, &buckets, n);
+        assert!(b < 1e-9, "in-memory bias should be ~0, got {b}");
+    }
+
+    #[test]
+    fn comet_bias_is_lower_than_beta_bias() {
+        let p = 16u32;
+        let c = 4usize;
+        let (buckets, n) = buckets_for(p, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let beta_plan = BetaPolicy::new(c).plan(p, &mut rng).unwrap();
+        let comet_plan = CometPolicy::auto(p, c).plan(p, &mut rng).unwrap();
+        let beta_bias = edge_permutation_bias(&beta_plan, &buckets, n);
+        let comet_bias = edge_permutation_bias(&comet_plan, &buckets, n);
+        assert!(
+            comet_bias <= beta_bias,
+            "COMET bias {comet_bias} should not exceed BETA bias {beta_bias}"
+        );
+        assert!(
+            beta_bias > 0.3,
+            "BETA should show substantial bias, got {beta_bias}"
+        );
+    }
+
+    /// Figure 6c: bias decreases as the number of physical partitions grows.
+    #[test]
+    fn bias_decreases_with_more_physical_partitions() {
+        let c_fraction = 4;
+        let mut biases = Vec::new();
+        for p in [4u32, 16, 32] {
+            let (buckets, n) = buckets_for(p, 10 + p as u64);
+            let c = (p as usize / c_fraction).max(2);
+            let mut rng = StdRng::seed_from_u64(20 + p as u64);
+            let plan = CometPolicy::auto(p, c).plan(p, &mut rng).unwrap();
+            biases.push(edge_permutation_bias(&plan, &buckets, n));
+        }
+        assert!(
+            biases[2] <= biases[0] + 0.05,
+            "bias should trend downward with more physical partitions: {biases:?}"
+        );
+    }
+
+    #[test]
+    fn bias_is_bounded() {
+        let (buckets, n) = buckets_for(8, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let plan = BetaPolicy::new(2).plan(8, &mut rng).unwrap();
+        let b = edge_permutation_bias(&plan, &buckets, n);
+        assert!((0.0..=1.0).contains(&b));
+    }
+
+    #[test]
+    fn auto_tune_small_graph_fits_in_memory() {
+        let cfg = auto_tune(
+            10_000,
+            64,
+            100_000,
+            20,
+            8_000_000_000,
+            128 * 1024,
+            1_000_000,
+            true,
+        );
+        assert!(cfg.fits_in_memory);
+        assert_eq!(cfg.physical_partitions, 1);
+    }
+
+    /// The paper's target scenario: Freebase86M-sized embeddings (34 GB of
+    /// parameters) on a 61 GB machine with the paper's EBS block size — the graph
+    /// does not fit once both edge copies and working memory are accounted for,
+    /// so disk-based training with a non-trivial partition count is selected.
+    #[test]
+    fn auto_tune_freebase86m_on_p3_2xlarge() {
+        let cfg = auto_tune(
+            86_000_000,
+            100,
+            338_000_000,
+            20,
+            61_000_000_000,
+            128 * 1024,
+            4_000_000_000,
+            true,
+        );
+        assert!(!cfg.fits_in_memory);
+        assert!(cfg.physical_partitions >= 2);
+        assert!(cfg.buffer_capacity >= 2);
+        assert!(cfg.buffer_capacity <= cfg.physical_partitions as usize);
+        // l = 2p/c rule.
+        let expected_l = (2 * cfg.physical_partitions as usize).div_ceil(cfg.buffer_capacity);
+        assert_eq!(
+            cfg.logical_partitions as usize,
+            expected_l.min(cfg.physical_partitions as usize)
+        );
+    }
+
+    #[test]
+    fn auto_tune_respects_memory_budget() {
+        let cpu = 2_000_000_000u64;
+        let cfg = auto_tune(
+            20_000_000,
+            100,
+            100_000_000,
+            20,
+            cpu,
+            128 * 1024,
+            100_000_000,
+            true,
+        );
+        assert!(!cfg.fits_in_memory);
+        let p = cfg.physical_partitions as f64;
+        let po = 20_000_000.0 * 100.0 * 8.0 / p;
+        let ebo = 100_000_000.0 * 20.0 / (p * p);
+        let cost =
+            cfg.buffer_capacity as f64 * po + 2.0 * (cfg.buffer_capacity as f64).powi(2) * ebo;
+        assert!(cost < cpu as f64, "buffer cost {cost} exceeds CPU budget");
+    }
+
+    #[test]
+    fn auto_tune_block_size_bounds_partitions() {
+        // A larger block size forces fewer partitions (reads must stay block-sized).
+        let small_block = auto_tune(
+            20_000_000,
+            100,
+            200_000_000,
+            20,
+            4_000_000_000,
+            64 * 1024,
+            100_000_000,
+            true,
+        );
+        let large_block = auto_tune(
+            20_000_000,
+            100,
+            200_000_000,
+            20,
+            4_000_000_000,
+            1024 * 1024,
+            100_000_000,
+            true,
+        );
+        assert!(large_block.physical_partitions <= small_block.physical_partitions);
+    }
+}

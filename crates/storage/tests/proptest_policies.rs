@@ -1,0 +1,80 @@
+//! Property-based tests of the replacement policies: for arbitrary partition
+//! counts and buffer capacities, every policy must produce a plan that covers
+//! every edge bucket exactly once, never exceeds the buffer, and never assigns a
+//! bucket to a set missing one of its partitions.
+
+use marius_storage::policy::ReplacementPolicy;
+use marius_storage::{BetaPolicy, CometPolicy, InMemoryPolicy, NodeCachePolicy};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn beta_plans_are_always_valid(
+        p in 2u32..24,
+        c_frac in 2usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let c = ((p as usize) / c_frac).max(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = BetaPolicy::new(c).plan(p, &mut rng).unwrap();
+        prop_assert!(plan.validate(p, c).is_ok(), "{:?}", plan.validate(p, c));
+    }
+
+    #[test]
+    fn comet_plans_are_always_valid(
+        p in 2u32..24,
+        c_frac in 2usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let c = ((p as usize) / c_frac).max(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = CometPolicy::auto(p, c).plan(p, &mut rng).unwrap();
+        prop_assert!(plan.validate(p, c).is_ok(), "{:?}", plan.validate(p, c));
+    }
+
+    /// COMET's partition loads stay within a constant factor of BETA's for the
+    /// same buffer (the paper's claim that the two-level scheme forfeits little IO).
+    #[test]
+    fn comet_io_within_constant_factor_of_beta(
+        p in 4u32..20,
+        seed in 0u64..10_000,
+    ) {
+        let c = (p as usize / 2).max(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let beta = BetaPolicy::new(c).plan(p, &mut rng).unwrap();
+        let comet = CometPolicy::auto(p, c).plan(p, &mut rng).unwrap();
+        prop_assert!(comet.partition_loads() <= 3 * beta.partition_loads().max(1));
+    }
+
+    #[test]
+    fn in_memory_plan_always_single_set(p in 1u32..32, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = InMemoryPolicy.plan(p, &mut rng).unwrap();
+        prop_assert_eq!(plan.num_sets(), 1);
+        prop_assert!(plan.validate(p, p as usize).is_ok());
+    }
+
+    /// The node-cache policy always keeps every training partition resident and
+    /// never swaps during the epoch.
+    #[test]
+    fn node_cache_keeps_training_partitions(
+        p in 2u32..24,
+        k_frac in 2u32..6,
+        seed in 0u64..10_000,
+    ) {
+        let k = (p / k_frac).max(1);
+        let c = (k as usize + 2).min(p as usize);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = NodeCachePolicy::new(c, k).plan(p, &mut rng).unwrap();
+        prop_assert_eq!(plan.num_sets(), 1);
+        let set = &plan.partition_sets[0];
+        for t in 0..k {
+            prop_assert!(set.contains(&t));
+        }
+        prop_assert_eq!(plan.partition_loads(), set.len());
+    }
+}

@@ -1,0 +1,202 @@
+//! Simulated accelerator cost model.
+//!
+//! The paper's evaluation reports GPU compute time and CPU↔GPU transfer time for
+//! every mini batch. This reproduction runs all kernels on the CPU, so the
+//! [`DeviceCostModel`] estimates how long the equivalent dense kernel and PCIe
+//! transfer would take on the paper's hardware (an NVIDIA V100 over PCIe 3.0 x16).
+//! Benchmarks use these estimates to report "GPU compute" analogues alongside the
+//! measured CPU wall-clock, so that the *shape* of the paper's tables (who is
+//! faster, by how much, where crossovers fall) can be regenerated.
+
+use std::time::Duration;
+
+/// Direction of a simulated host↔device transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDirection {
+    /// CPU memory to accelerator memory (mini batch upload).
+    HostToDevice,
+    /// Accelerator memory to CPU memory (gradient / embedding update download).
+    DeviceToHost,
+}
+
+/// The class of accelerator being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// NVIDIA V100 (16 GB) as used on AWS P3 instances in the paper.
+    V100,
+    /// A slower accelerator useful for sensitivity experiments.
+    T4,
+    /// Pure CPU execution (no transfer cost, throughput equals the host).
+    Cpu,
+}
+
+/// Cost model for dense kernels and host↔device transfers.
+///
+/// The model is intentionally simple: a kernel is charged a fixed launch latency
+/// plus `flops / peak_flops`, and a transfer is charged a fixed latency plus
+/// `bytes / bandwidth`. This captures the two effects that matter for the paper's
+/// comparisons: (1) many small kernels are launch-bound, so reducing the number of
+/// sampled nodes/edges (DENSE) shortens compute; and (2) transfer time scales with
+/// the mini-batch size.
+#[derive(Debug, Clone)]
+pub struct DeviceCostModel {
+    kind: DeviceKind,
+    /// Peak throughput in FLOP/s for dense f32 kernels.
+    peak_flops: f64,
+    /// Achievable host↔device bandwidth in bytes/s.
+    transfer_bandwidth: f64,
+    /// Fixed per-kernel launch latency.
+    kernel_latency: Duration,
+    /// Fixed per-transfer latency.
+    transfer_latency: Duration,
+    /// Fraction of peak FLOPs achievable on irregular (gather/segment) kernels.
+    irregular_efficiency: f64,
+}
+
+impl DeviceCostModel {
+    /// Creates a cost model for the given device kind with published peak numbers
+    /// derated to realistic achievable fractions.
+    pub fn new(kind: DeviceKind) -> Self {
+        match kind {
+            DeviceKind::V100 => DeviceCostModel {
+                kind,
+                // 14 TFLOP/s fp32 peak derated to ~40% achievable on GEMM-heavy GNN layers.
+                peak_flops: 5.6e12,
+                // PCIe 3.0 x16 ≈ 12 GB/s achievable.
+                transfer_bandwidth: 12.0e9,
+                kernel_latency: Duration::from_micros(8),
+                transfer_latency: Duration::from_micros(15),
+                irregular_efficiency: 0.15,
+            },
+            DeviceKind::T4 => DeviceCostModel {
+                kind,
+                peak_flops: 2.5e12,
+                transfer_bandwidth: 6.0e9,
+                kernel_latency: Duration::from_micros(10),
+                transfer_latency: Duration::from_micros(20),
+                irregular_efficiency: 0.12,
+            },
+            DeviceKind::Cpu => DeviceCostModel {
+                kind,
+                peak_flops: 1.0e11,
+                transfer_bandwidth: f64::INFINITY,
+                kernel_latency: Duration::ZERO,
+                transfer_latency: Duration::ZERO,
+                irregular_efficiency: 0.5,
+            },
+        }
+    }
+
+    /// Returns the modelled device kind.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Estimated time for a dense (GEMM-like) kernel performing `flops` operations.
+    pub fn dense_kernel_time(&self, flops: u64) -> Duration {
+        self.kernel_latency + Duration::from_secs_f64(flops as f64 / self.peak_flops)
+    }
+
+    /// Estimated time for an irregular kernel (gather, scatter, segment reduce)
+    /// touching `elements` f32 values.
+    pub fn irregular_kernel_time(&self, elements: u64) -> Duration {
+        // Irregular kernels are memory-bound; charge 2 flops per element at the
+        // derated efficiency.
+        let effective = self.peak_flops * self.irregular_efficiency;
+        self.kernel_latency + Duration::from_secs_f64(2.0 * elements as f64 / effective)
+    }
+
+    /// Estimated time to move `bytes` across the host↔device link.
+    pub fn transfer_time(&self, bytes: u64, _direction: TransferDirection) -> Duration {
+        if self.transfer_bandwidth.is_infinite() {
+            return Duration::ZERO;
+        }
+        self.transfer_latency + Duration::from_secs_f64(bytes as f64 / self.transfer_bandwidth)
+    }
+
+    /// Estimated time for a full GNN layer over a mini batch described by the
+    /// number of nodes, sampled edges and feature dimensions.
+    ///
+    /// The layer is modelled as: one gather over `edges` neighbour rows, one
+    /// segment reduction over the same rows, and one `(nodes, in_dim) x (in_dim,
+    /// out_dim)` GEMM.
+    pub fn gnn_layer_time(
+        &self,
+        nodes: usize,
+        edges: usize,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Duration {
+        let gather = self.irregular_kernel_time((edges * in_dim) as u64);
+        let reduce = self.irregular_kernel_time((edges * in_dim) as u64);
+        let gemm = self.dense_kernel_time(crate::ops::matmul_flops(nodes, in_dim, out_dim));
+        gather + reduce + gemm
+    }
+}
+
+impl Default for DeviceCostModel {
+    fn default() -> Self {
+        DeviceCostModel::new(DeviceKind::V100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_kernel_time_scales_with_flops() {
+        let m = DeviceCostModel::new(DeviceKind::V100);
+        let small = m.dense_kernel_time(1_000);
+        let large = m.dense_kernel_time(1_000_000_000_000);
+        assert!(large > small);
+        // A tera-flop on a ~5.6 TFLOP/s device takes on the order of 0.2 s.
+        assert!(large > Duration::from_millis(100));
+        assert!(large < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn small_kernels_are_launch_bound() {
+        let m = DeviceCostModel::new(DeviceKind::V100);
+        let tiny = m.dense_kernel_time(10);
+        assert!(tiny >= Duration::from_micros(8));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let m = DeviceCostModel::new(DeviceKind::V100);
+        let a = m.transfer_time(1 << 20, TransferDirection::HostToDevice);
+        let b = m.transfer_time(1 << 30, TransferDirection::HostToDevice);
+        assert!(b > a * 100);
+    }
+
+    #[test]
+    fn cpu_device_has_no_transfer_cost() {
+        let m = DeviceCostModel::new(DeviceKind::Cpu);
+        assert_eq!(
+            m.transfer_time(1 << 30, TransferDirection::DeviceToHost),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn v100_faster_than_t4() {
+        let v = DeviceCostModel::new(DeviceKind::V100);
+        let t = DeviceCostModel::new(DeviceKind::T4);
+        let flops = 10_000_000_000u64;
+        assert!(v.dense_kernel_time(flops) < t.dense_kernel_time(flops));
+    }
+
+    #[test]
+    fn gnn_layer_time_monotone_in_edges() {
+        let m = DeviceCostModel::new(DeviceKind::V100);
+        let small = m.gnn_layer_time(1_000, 10_000, 128, 128);
+        let large = m.gnn_layer_time(1_000, 1_000_000, 128, 128);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn default_is_v100() {
+        assert_eq!(DeviceCostModel::default().kind(), DeviceKind::V100);
+    }
+}

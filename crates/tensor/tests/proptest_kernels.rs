@@ -1,0 +1,151 @@
+//! Property-based tests for the dense kernels: algebraic identities that must
+//! hold for arbitrary shapes and values.
+
+use marius_tensor::segment::{
+    index_add, index_select, segment_expand, segment_mean, segment_softmax, segment_sum,
+};
+use marius_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Strategy: a small tensor with the given number of rows.
+fn tensor_with_rows(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(data, rows, cols))
+}
+
+/// Strategy: a tensor of arbitrary small shape.
+fn small_tensor() -> impl Strategy<Value = Tensor> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| tensor_with_rows(r, c))
+}
+
+/// Strategy: monotone offsets covering `len` rows, one entry per segment.
+fn offsets_for(len: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..=len, 1..5).prop_map(move |mut v| {
+        v.sort_unstable();
+        if v.is_empty() || v[0] != 0 {
+            v.insert(0, 0);
+        }
+        v
+    })
+}
+
+proptest! {
+    /// (A · B) · C == A · (B · C) within floating-point tolerance.
+    #[test]
+    fn matmul_is_associative(
+        a in tensor_with_rows(3, 4),
+        b in tensor_with_rows(4, 2),
+        c in tensor_with_rows(2, 5),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    /// Transposing twice is the identity.
+    #[test]
+    fn double_transpose_is_identity(t in small_tensor()) {
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    /// Softmax rows are a probability distribution.
+    #[test]
+    fn softmax_rows_are_distributions(t in small_tensor()) {
+        let s = t.softmax_rows();
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+        }
+    }
+
+    /// segment_sum over singleton segments is the identity.
+    #[test]
+    fn segment_sum_singletons_identity(t in small_tensor()) {
+        let offsets: Vec<usize> = (0..t.rows()).collect();
+        let out = segment_sum(&t, &offsets).unwrap();
+        prop_assert_eq!(out, t);
+    }
+
+    /// The total mass is preserved by segment_sum regardless of segmentation.
+    #[test]
+    fn segment_sum_preserves_total(
+        (t, offsets) in (2usize..8)
+            .prop_flat_map(|r| (tensor_with_rows(r, 3), offsets_for(r))),
+    ) {
+        let out = segment_sum(&t, &offsets).unwrap();
+        prop_assert!((out.sum() - t.sum()).abs() < 1e-3);
+    }
+
+    /// segment_mean output never exceeds the per-segment max magnitude bound.
+    #[test]
+    fn segment_mean_is_bounded_by_extremes(
+        t in (2usize..8).prop_flat_map(|r| tensor_with_rows(r, 2)),
+    ) {
+        let offsets = vec![0, t.rows() / 2];
+        let out = segment_mean(&t, &offsets).unwrap();
+        prop_assert!(out.max() <= t.max() + 1e-5);
+        prop_assert!(out.min() >= t.min() - 1e-5);
+    }
+
+    /// index_add is the adjoint of index_select: <select(h, idx), g> == <h, add(idx, g)>.
+    #[test]
+    fn gather_scatter_adjointness(
+        h in tensor_with_rows(5, 3),
+        idx in proptest::collection::vec(0usize..5, 1..12),
+    ) {
+        let sel = index_select(&h, &idx).unwrap();
+        let g = Tensor::ones(idx.len(), 3);
+        let lhs: f32 = sel.data().iter().sum();
+        let back = index_add(5, 3, &idx, &g).unwrap();
+        let rhs: f32 = h
+            .data()
+            .iter()
+            .zip(back.data().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2);
+    }
+
+    /// segment_expand of a segment_sum reproduces each segment's total on every row.
+    #[test]
+    fn expand_after_sum_is_constant_within_segments(
+        t in (3usize..9).prop_flat_map(|r| tensor_with_rows(r, 2)),
+    ) {
+        let offsets = vec![0, t.rows() / 3, 2 * t.rows() / 3];
+        let summed = segment_sum(&t, &offsets).unwrap();
+        let expanded = segment_expand(&summed, &offsets, t.rows()).unwrap();
+        for s in 0..offsets.len() {
+            let start = offsets[s];
+            let end = if s + 1 < offsets.len() { offsets[s + 1] } else { t.rows() };
+            for r in start..end {
+                prop_assert_eq!(expanded.row(r), summed.row(s));
+            }
+        }
+    }
+
+    /// Segment softmax sums to one within every non-empty segment.
+    #[test]
+    fn segment_softmax_normalises(
+        scores in (3usize..10).prop_flat_map(|r| tensor_with_rows(r, 1)),
+    ) {
+        let offsets = vec![0, scores.rows() / 2];
+        let out = segment_softmax(&scores, &offsets).unwrap();
+        let first: f32 = (0..scores.rows() / 2).map(|r| out.get(r, 0)).sum();
+        let second: f32 = (scores.rows() / 2..scores.rows()).map(|r| out.get(r, 0)).sum();
+        if scores.rows() / 2 > 0 {
+            prop_assert!((first - 1.0).abs() < 1e-4);
+        }
+        prop_assert!((second - 1.0).abs() < 1e-4);
+    }
+
+    /// ReLU is idempotent and non-negative.
+    #[test]
+    fn relu_idempotent(t in small_tensor()) {
+        let once = t.relu();
+        prop_assert!(once.min() >= 0.0);
+        prop_assert_eq!(once.relu(), once);
+    }
+}

@@ -1,0 +1,59 @@
+//! Applies the §6 auto-tuning rules to the paper's datasets on each AWS P3
+//! instance and prints the chosen (p, l, c) configuration — the decision
+//! MariusGNN makes "out of the box" before disk-based training starts.
+//!
+//! Run with: `cargo run --release --example autotune`
+
+use marius_baselines::AwsInstance;
+use marius_graph::datasets::{DatasetSpec, Task};
+use marius_storage::auto_tune;
+
+fn main() {
+    let block_size = 128 * 1024u64; // EBS effective block size used in the paper.
+    let instances = [
+        AwsInstance::P3_2xLarge,
+        AwsInstance::P3_8xLarge,
+        AwsInstance::P3_16xLarge,
+    ];
+    println!(
+        "{:<16} {:<12} | {:>6} {:>6} {:>6} | {}",
+        "dataset", "instance", "p", "l", "c", "mode"
+    );
+    for spec in DatasetSpec::table1() {
+        for instance in instances {
+            let learnable = !spec.fixed_features && spec.task == Task::LinkPrediction;
+            // Reserve ~10% of RAM as working memory (the fudge factor F).
+            let fudge = instance.cpu_memory_bytes() / 10;
+            let bytes_per_edge = if spec.num_relations > 1 { 12 } else { 8 };
+            let cfg = auto_tune(
+                spec.num_nodes,
+                spec.feat_dim,
+                spec.num_edges,
+                bytes_per_edge,
+                instance.cpu_memory_bytes(),
+                block_size,
+                fudge,
+                learnable,
+            );
+            println!(
+                "{:<16} {:<12} | {:>6} {:>6} {:>6} | {}",
+                spec.name,
+                instance.name(),
+                cfg.physical_partitions,
+                cfg.logical_partitions,
+                cfg.buffer_capacity,
+                if cfg.fits_in_memory {
+                    "in-memory"
+                } else {
+                    "disk-based"
+                }
+            );
+        }
+    }
+    println!(
+        "\nReading the table: a (1, 1, 1) in-memory row means the dataset fits in that\n\
+         instance's CPU memory and no partitioning is needed; otherwise the rules of §6\n\
+         pick the partition count from the disk block size and the buffer from the\n\
+         memory budget, with l = 2p/c logical partitions."
+    );
+}

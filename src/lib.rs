@@ -1,0 +1,1 @@
+//! Workspace-level integration test and example support for the MariusGNN reproduction.
