@@ -33,7 +33,9 @@ fn main() {
     train.eval_negatives = 100;
     let trainer = LinkPredictionTrainer::new(model, train);
 
-    let report = trainer.train_disk(&data, &DiskConfig::comet(8, 4));
+    let report = trainer
+        .train_disk(&data, &DiskConfig::comet(8, 4))
+        .expect("disk training");
     let epoch = &report.epochs[0];
     let throughput = epoch.examples as f64 / epoch.epoch_time.as_secs_f64().max(1e-9);
     println!(

@@ -95,7 +95,7 @@ fn main() {
                 .unwrap(),
         };
         let bias = edge_permutation_bias(&plan, &buckets, data.num_nodes());
-        let report = trainer.train_disk(&data, &disk);
+        let report = trainer.train_disk(&data, &disk).expect("disk training");
         println!("{:<16} {:>8.3} {:>8.4}", name, bias, report.final_metric());
     }
     println!(

@@ -45,7 +45,9 @@ fn main() {
     train.batch_size = 256;
     let trainer = NodeClassificationTrainer::new(model.clone(), train);
     let mem = trainer.train_in_memory(&data);
-    let disk = trainer.train_disk(&data, &DiskConfig::node_cache(8, 6));
+    let disk = trainer
+        .train_disk(&data, &DiskConfig::node_cache(8, 6))
+        .expect("disk training");
 
     let subgraph = InMemorySubgraph::from_edges(data.graph.edges());
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(72);
@@ -71,7 +73,9 @@ fn main() {
     train.eval_negatives = 200;
     let trainer = LinkPredictionTrainer::new(model.clone(), train);
     let mem = trainer.train_in_memory(&data);
-    let disk = trainer.train_disk(&data, &DiskConfig::comet(8, 4));
+    let disk = trainer
+        .train_disk(&data, &DiskConfig::comet(8, 4))
+        .expect("disk training");
 
     let subgraph = InMemorySubgraph::from_edges(&data.train_edges);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(75);

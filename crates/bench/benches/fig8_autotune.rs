@@ -51,7 +51,9 @@ fn main() {
     println!("{:<24} {:>12} {:>8}", "configuration", "epoch (s)", "MRR");
     let grid = vec![(8u32, 2usize), (8, 4), (16, 4), (16, 8), (32, 8)];
     for (p, c) in grid {
-        let report = trainer.train_disk(&data, &DiskConfig::comet(p, c));
+        let report = trainer
+            .train_disk(&data, &DiskConfig::comet(p, c))
+            .expect("disk training");
         println!(
             "{:<24} {:>12} {:>8.4}",
             format!("grid p={p} c={c}"),
@@ -61,7 +63,9 @@ fn main() {
     }
     let p = tuned.physical_partitions.max(4);
     let c = tuned.buffer_capacity.clamp(2, p as usize);
-    let report = trainer.train_disk(&data, &DiskConfig::comet(p, c));
+    let report = trainer
+        .train_disk(&data, &DiskConfig::comet(p, c))
+        .expect("disk training");
     println!(
         "{:<24} {:>12} {:>8.4}",
         format!("AUTO-TUNED p={p} c={c}"),

@@ -68,7 +68,9 @@ fn main() {
         let trainer = NodeClassificationTrainer::new(model.clone(), train);
 
         let mem = trainer.train_in_memory(&data);
-        let disk = trainer.train_disk(&data, &DiskConfig::node_cache(8, 6));
+        let disk = trainer
+            .train_disk(&data, &DiskConfig::node_cache(8, 6))
+            .expect("disk training");
 
         // Baseline: layer-wise pipeline per-batch cost, extrapolated to the full
         // epoch and the multi-GPU configuration of Table 3.

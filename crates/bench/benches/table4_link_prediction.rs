@@ -45,7 +45,9 @@ fn main() {
         let trainer = LinkPredictionTrainer::new(model.clone(), train.clone());
 
         let mem = trainer.train_in_memory(&data);
-        let disk = trainer.train_disk(&data, &DiskConfig::comet(8, 4));
+        let disk = trainer
+            .train_disk(&data, &DiskConfig::comet(8, 4))
+            .expect("disk training");
 
         // DGL uses 5x fewer negatives (paper §7.1): train a separate in-memory
         // run with that handicap to obtain its MRR.

@@ -42,7 +42,9 @@ fn main() {
         };
         let trainer = LinkPredictionTrainer::new(model.clone(), train.clone());
         let mem = trainer.train_in_memory(&data);
-        let disk = trainer.train_disk(&data, &DiskConfig::comet(8, 4));
+        let disk = trainer
+            .train_disk(&data, &DiskConfig::comet(8, 4))
+            .expect("disk training");
         marius_times.push(mem.avg_epoch_time());
         println!(
             "{:<30} {:>12} {:>8.4} {:>12.4}",

@@ -45,8 +45,12 @@ fn main() {
     for (name, model) in models {
         let trainer = LinkPredictionTrainer::new(model, train.clone());
         let mem = trainer.train_in_memory(&data);
-        let comet = trainer.train_disk(&data, &DiskConfig::comet(partitions, capacity));
-        let beta = trainer.train_disk(&data, &DiskConfig::beta(partitions, capacity));
+        let comet = trainer
+            .train_disk(&data, &DiskConfig::comet(partitions, capacity))
+            .expect("disk training");
+        let beta = trainer
+            .train_disk(&data, &DiskConfig::beta(partitions, capacity))
+            .expect("disk training");
         if comet.final_metric() >= beta.final_metric() {
             comet_wins += 1;
         }

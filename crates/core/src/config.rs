@@ -3,6 +3,8 @@
 use marius_sampling::SamplingDirection;
 use serde::{Deserialize, Serialize};
 
+pub use marius_pipeline::PipelineConfig;
+
 /// Which encoder architecture to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EncoderKind {

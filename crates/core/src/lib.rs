@@ -13,6 +13,9 @@
 //! * [`trainer`] — epoch orchestration for in-memory and disk-based training,
 //!   including the partition-buffer walk over a replacement policy's epoch plan,
 //!   per-phase timing (sampling / compute / IO), and evaluation (accuracy, MRR).
+//!   Disk-based epochs run either sequentially or on the staged
+//!   [`marius_pipeline::Pipeline`] runtime (prefetch / batch construction /
+//!   compute overlapped), selected by [`config::PipelineConfig`].
 //! * [`report`] — experiment reporting structures shared by the examples and the
 //!   benchmark harnesses that regenerate the paper's tables.
 
@@ -22,8 +25,11 @@ pub mod report;
 pub mod source;
 pub mod trainer;
 
-pub use config::{DiskConfig, EncoderKind, ModelConfig, PolicyKind, TrainConfig};
-pub use models::{LinkPredictionModel, NodeClassificationModel};
+pub use config::{DiskConfig, EncoderKind, ModelConfig, PipelineConfig, PolicyKind, TrainConfig};
+pub use models::{
+    LinkBatchBuilder, LinkPredictionModel, NodeBatchBuilder, NodeClassificationModel,
+    PreparedLinkBatch, PreparedNodeBatch,
+};
 pub use report::{EpochReport, ExperimentReport};
 pub use source::{FixedFeatureSource, RepresentationSource, TableSource};
 pub use trainer::{LinkPredictionTrainer, NodeClassificationTrainer};

@@ -61,80 +61,45 @@ pub fn build_encoder<R: Rng + ?Sized>(config: &ModelConfig, rng: &mut R) -> Enco
     encoder
 }
 
-/// A link-prediction model: GNN encoder (possibly empty) plus DistMult decoder.
-pub struct LinkPredictionModel {
-    encoder: Encoder,
-    decoder: DistMult,
+/// The CPU-side half of a link-prediction training step: negative sampling,
+/// target interning, and DENSE multi-hop sampling.
+///
+/// The builder is `Clone + Send + Sync` and borrows nothing from the model, so
+/// the pipelined runtime can run it on batch-construction worker threads while
+/// the compute consumer owns the model (`marius-pipeline` stage 2 vs stage 3).
+/// RNG draws happen in the same order as the original fused `train_batch`
+/// (negatives first, then the neighbourhood sample), which is what makes the
+/// pipelined and sequential paths bit-identical under a shared seed.
+#[derive(Debug, Clone)]
+pub struct LinkBatchBuilder {
     sampler: MultiHopSampler,
     negative_sampler: NegativeSampler,
-    optimizer: Optimizer,
-    output_dim: usize,
 }
 
-impl LinkPredictionModel {
-    /// Builds the model for a graph with `num_relations` edge types.
-    pub fn new<R: Rng + ?Sized>(config: &ModelConfig, num_relations: u32, rng: &mut R) -> Self {
-        let encoder = build_encoder(config, rng);
-        let decoder = DistMult::new(num_relations as usize, config.output_dim, rng);
-        let sampler = MultiHopSampler::new(config.fanouts.clone(), config.direction);
-        LinkPredictionModel {
-            encoder,
-            decoder,
-            sampler,
-            negative_sampler: NegativeSampler::new(0),
-            optimizer: Optimizer::adagrad(config.learning_rate),
-            output_dim: config.output_dim,
-        }
-    }
+/// A fully constructed link-prediction batch, ready for the compute stage.
+pub struct PreparedLinkBatch {
+    dense: marius_sampling::Dense,
+    node_ids: Vec<NodeId>,
+    src_idx: Vec<usize>,
+    dst_idx: Vec<usize>,
+    neg_idx: Vec<usize>,
+    rels: Vec<u32>,
+    examples: usize,
+    sample_time: Duration,
+    stats: marius_sampling::SampleStats,
+}
 
-    /// Sets the number of shared negatives per mini batch.
-    pub fn with_negatives(mut self, num_negatives: usize) -> Self {
-        self.negative_sampler = NegativeSampler::new(num_negatives);
-        self
-    }
-
-    /// Number of encoder layers.
-    pub fn num_layers(&self) -> usize {
-        self.encoder.num_layers()
-    }
-
-    /// Encodes a set of target nodes over the in-memory subgraph, returning their
-    /// final representations, the list of all sampled node ids (for write-back),
-    /// the encoder activations and sampling statistics.
-    fn encode<R: Rng + ?Sized>(
+impl LinkBatchBuilder {
+    /// Builds one training batch from a slice of positive edges: samples the
+    /// shared negative pool, interns the unique endpoint/negative nodes, and
+    /// runs DENSE multi-hop sampling over `subgraph`.
+    pub fn prepare<R: Rng + ?Sized>(
         &self,
-        source: &dyn RepresentationSource,
-        subgraph: &InMemorySubgraph,
-        targets: &[NodeId],
-        rng: &mut R,
-    ) -> (
-        marius_gnn::encoder::EncoderActivations,
-        Vec<NodeId>,
-        marius_sampling::SampleStats,
-        Duration,
-    ) {
-        let sample_start = Instant::now();
-        let mut dense = self.sampler.sample(subgraph, targets, rng);
-        let sample_time = sample_start.elapsed();
-        let stats = dense.stats();
-        let node_ids = dense.node_ids().to_vec();
-        let h0 = source.gather(&node_ids);
-        let acts = self.encoder.forward(&mut dense, h0);
-        (acts, node_ids, stats, sample_time)
-    }
-
-    /// Runs one training step over a batch of positive edges.
-    pub fn train_batch<R: Rng + ?Sized>(
-        &mut self,
-        source: &mut dyn RepresentationSource,
         subgraph: &InMemorySubgraph,
         edges: &[Edge],
         negative_candidates: &[NodeId],
         rng: &mut R,
-    ) -> BatchStats {
-        if edges.is_empty() {
-            return BatchStats::default();
-        }
+    ) -> PreparedLinkBatch {
         // Shared negative pool plus the unique batch endpoints form the targets.
         let negatives = if self.negative_sampler.num_negatives() > 0 {
             self.negative_sampler.sample_pool(negative_candidates, rng)
@@ -162,8 +127,139 @@ impl LinkPredictionModel {
             .map(|&n| intern(n, &mut targets, &mut position))
             .collect();
 
-        let (acts, node_ids, stats, sample_time) = self.encode(source, subgraph, &targets, rng);
+        let sample_start = Instant::now();
+        let dense = self.sampler.sample(subgraph, &targets, rng);
+        let sample_time = sample_start.elapsed();
+        let stats = dense.stats();
+        let node_ids = dense.node_ids().to_vec();
+        PreparedLinkBatch {
+            dense,
+            node_ids,
+            src_idx,
+            dst_idx,
+            neg_idx,
+            rels,
+            examples: edges.len(),
+            sample_time,
+            stats,
+        }
+    }
+}
+
+/// A link-prediction model: GNN encoder (possibly empty) plus DistMult decoder.
+pub struct LinkPredictionModel {
+    encoder: Encoder,
+    decoder: DistMult,
+    builder: LinkBatchBuilder,
+    optimizer: Optimizer,
+    output_dim: usize,
+}
+
+impl LinkPredictionModel {
+    /// Builds the model for a graph with `num_relations` edge types.
+    pub fn new<R: Rng + ?Sized>(config: &ModelConfig, num_relations: u32, rng: &mut R) -> Self {
+        let encoder = build_encoder(config, rng);
+        let decoder = DistMult::new(num_relations as usize, config.output_dim, rng);
+        let sampler = MultiHopSampler::new(config.fanouts.clone(), config.direction);
+        LinkPredictionModel {
+            encoder,
+            decoder,
+            builder: LinkBatchBuilder {
+                sampler,
+                negative_sampler: NegativeSampler::new(0),
+            },
+            optimizer: Optimizer::adagrad(config.learning_rate),
+            output_dim: config.output_dim,
+        }
+    }
+
+    /// Sets the number of shared negatives per mini batch.
+    pub fn with_negatives(mut self, num_negatives: usize) -> Self {
+        self.builder.negative_sampler = NegativeSampler::new(num_negatives);
+        self
+    }
+
+    /// Number of encoder layers.
+    pub fn num_layers(&self) -> usize {
+        self.encoder.num_layers()
+    }
+
+    /// A clone of the model's batch builder for use on sampling worker
+    /// threads.
+    pub fn batch_builder(&self) -> LinkBatchBuilder {
+        self.builder.clone()
+    }
+
+    /// Encodes a set of target nodes over the in-memory subgraph, returning their
+    /// final representations, the list of all sampled node ids (for write-back),
+    /// the encoder activations and sampling statistics.
+    fn encode<R: Rng + ?Sized>(
+        &self,
+        source: &dyn RepresentationSource,
+        subgraph: &InMemorySubgraph,
+        targets: &[NodeId],
+        rng: &mut R,
+    ) -> (
+        marius_gnn::encoder::EncoderActivations,
+        Vec<NodeId>,
+        marius_sampling::SampleStats,
+        Duration,
+    ) {
+        let sample_start = Instant::now();
+        let mut dense = self.builder.sampler.sample(subgraph, targets, rng);
+        let sample_time = sample_start.elapsed();
+        let stats = dense.stats();
+        let node_ids = dense.node_ids().to_vec();
+        let h0 = source.gather(&node_ids);
+        let acts = self.encoder.forward(&mut dense, h0);
+        (acts, node_ids, stats, sample_time)
+    }
+
+    /// Runs one training step over a batch of positive edges (the fused
+    /// prepare-then-compute path used by in-memory and sequential training).
+    pub fn train_batch<R: Rng + ?Sized>(
+        &mut self,
+        source: &mut dyn RepresentationSource,
+        subgraph: &InMemorySubgraph,
+        edges: &[Edge],
+        negative_candidates: &[NodeId],
+        rng: &mut R,
+    ) -> BatchStats {
+        if edges.is_empty() {
+            return BatchStats::default();
+        }
+        let prepared = self
+            .builder
+            .prepare(subgraph, edges, negative_candidates, rng);
+        self.train_prepared(source, prepared)
+    }
+
+    /// Runs the compute half of a training step over a batch constructed by
+    /// [`LinkBatchBuilder::prepare`] (possibly on another thread): embedding
+    /// gather, encoder/decoder forward and backward, parameter updates, and
+    /// the sparse write-back of base-embedding gradients.
+    pub fn train_prepared(
+        &mut self,
+        source: &mut dyn RepresentationSource,
+        prepared: PreparedLinkBatch,
+    ) -> BatchStats {
+        if prepared.examples == 0 {
+            return BatchStats::default();
+        }
+        let PreparedLinkBatch {
+            mut dense,
+            node_ids,
+            src_idx,
+            dst_idx,
+            neg_idx,
+            rels,
+            examples,
+            sample_time,
+            stats,
+        } = prepared;
         let compute_start = Instant::now();
+        let h0 = source.gather(&node_ids);
+        let acts = self.encoder.forward(&mut dense, h0);
         let out = &acts.output;
 
         // Gather per-role representations from the encoder output.
@@ -207,7 +303,7 @@ impl LinkPredictionModel {
 
         BatchStats {
             loss: loss.loss,
-            examples: edges.len(),
+            examples,
             sample_time,
             compute_time,
             nodes_sampled: stats.nodes_sampled,
@@ -271,11 +367,61 @@ impl LinkPredictionModel {
     }
 }
 
+/// The CPU-side half of a node-classification training step: DENSE multi-hop
+/// sampling plus label alignment. `Clone + Send + Sync` for the same reason as
+/// [`LinkBatchBuilder`].
+#[derive(Debug, Clone)]
+pub struct NodeBatchBuilder {
+    sampler: MultiHopSampler,
+}
+
+/// A fully constructed node-classification batch, ready for compute.
+pub struct PreparedNodeBatch {
+    dense: marius_sampling::Dense,
+    node_ids: Vec<NodeId>,
+    batch_labels: Vec<u32>,
+    examples: usize,
+    sample_time: Duration,
+    stats: marius_sampling::SampleStats,
+}
+
+impl NodeBatchBuilder {
+    /// Builds one training batch for `nodes` (with per-node `labels`):
+    /// samples the multi-hop neighbourhood and aligns labels with DENSE's
+    /// deduplicated target order.
+    pub fn prepare<R: Rng + ?Sized>(
+        &self,
+        subgraph: &InMemorySubgraph,
+        nodes: &[NodeId],
+        labels: &[u32],
+        rng: &mut R,
+    ) -> PreparedNodeBatch {
+        let sample_start = Instant::now();
+        let dense = self.sampler.sample(subgraph, nodes, rng);
+        let sample_time = sample_start.elapsed();
+        let stats = dense.stats();
+        let node_ids = dense.node_ids().to_vec();
+        // Dense de-duplicates targets; align labels with the retained order.
+        let target_order = dense.target_nodes().to_vec();
+        let label_of: HashMap<NodeId, u32> =
+            nodes.iter().copied().zip(labels.iter().copied()).collect();
+        let batch_labels: Vec<u32> = target_order.iter().map(|n| label_of[n]).collect();
+        PreparedNodeBatch {
+            dense,
+            node_ids,
+            batch_labels,
+            examples: target_order.len(),
+            sample_time,
+            stats,
+        }
+    }
+}
+
 /// A node-classification model: GNN encoder plus linear softmax head.
 pub struct NodeClassificationModel {
     encoder: Encoder,
     head: ClassifierHead,
-    sampler: MultiHopSampler,
+    builder: NodeBatchBuilder,
     optimizer: Optimizer,
 }
 
@@ -288,7 +434,7 @@ impl NodeClassificationModel {
         NodeClassificationModel {
             encoder,
             head,
-            sampler,
+            builder: NodeBatchBuilder { sampler },
             optimizer: Optimizer::adagrad(config.learning_rate),
         }
     }
@@ -298,7 +444,14 @@ impl NodeClassificationModel {
         self.encoder.num_layers()
     }
 
-    /// Runs one training step over a batch of labeled nodes.
+    /// A clone of the model's batch builder for use on sampling worker
+    /// threads.
+    pub fn batch_builder(&self) -> NodeBatchBuilder {
+        self.builder.clone()
+    }
+
+    /// Runs one training step over a batch of labeled nodes (the fused
+    /// prepare-then-compute path used by in-memory and sequential training).
     pub fn train_batch<R: Rng + ?Sized>(
         &mut self,
         source: &mut dyn RepresentationSource,
@@ -310,19 +463,30 @@ impl NodeClassificationModel {
         if nodes.is_empty() {
             return BatchStats::default();
         }
-        let sample_start = Instant::now();
-        let mut dense = self.sampler.sample(subgraph, nodes, rng);
-        let sample_time = sample_start.elapsed();
-        let stats = dense.stats();
-        let node_ids = dense.node_ids().to_vec();
-        // Dense de-duplicates targets; align labels with the retained order.
-        let target_order = dense.target_nodes().to_vec();
-        let label_of: HashMap<NodeId, u32> =
-            nodes.iter().copied().zip(labels.iter().copied()).collect();
-        let batch_labels: Vec<u32> = target_order.iter().map(|n| label_of[n]).collect();
+        let prepared = self.builder.prepare(subgraph, nodes, labels, rng);
+        self.train_prepared(source, prepared)
+    }
 
-        let h0 = source.gather(&node_ids);
+    /// Runs the compute half of a training step over a batch constructed by
+    /// [`NodeBatchBuilder::prepare`] (possibly on another thread).
+    pub fn train_prepared(
+        &mut self,
+        source: &mut dyn RepresentationSource,
+        prepared: PreparedNodeBatch,
+    ) -> BatchStats {
+        if prepared.examples == 0 {
+            return BatchStats::default();
+        }
+        let PreparedNodeBatch {
+            mut dense,
+            node_ids,
+            batch_labels,
+            examples,
+            sample_time,
+            stats,
+        } = prepared;
         let compute_start = Instant::now();
+        let h0 = source.gather(&node_ids);
         let acts = self.encoder.forward(&mut dense, h0);
         let logits = self.head.forward(&acts.output);
         let loss = softmax_cross_entropy(&logits, &batch_labels);
@@ -339,7 +503,7 @@ impl NodeClassificationModel {
 
         BatchStats {
             loss: loss.loss,
-            examples: target_order.len(),
+            examples,
             sample_time,
             compute_time,
             nodes_sampled: stats.nodes_sampled,
@@ -364,7 +528,7 @@ impl NodeClassificationModel {
         let mut correct = 0usize;
         let mut total = 0usize;
         for chunk in nodes.chunks(1024) {
-            let mut dense = self.sampler.sample(subgraph, chunk, rng);
+            let mut dense = self.builder.sampler.sample(subgraph, chunk, rng);
             let target_order = dense.target_nodes().to_vec();
             let node_ids = dense.node_ids().to_vec();
             let h0 = source.gather(&node_ids);

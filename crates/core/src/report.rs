@@ -15,12 +15,25 @@ pub struct EpochReport {
     pub metric: f64,
     /// Wall-clock duration of the epoch's training phase.
     pub epoch_time: Duration,
-    /// Time spent in CPU neighbourhood sampling.
+    /// Time spent in CPU neighbourhood sampling. On pipelined runs this sums
+    /// across concurrent sampling workers (CPU time, not wall time), so it
+    /// can legitimately exceed `epoch_time`.
     pub sample_time: Duration,
     /// Time spent in forward/backward compute and updates.
     pub compute_time: Duration,
     /// Estimated disk IO time under the experiment's IO cost model.
     pub io_time: Duration,
+    /// Pipelined runs only: time the compute consumer spent blocked waiting
+    /// for upstream stages (prefetched partitions or constructed batches).
+    /// Zero on the sequential path, where every wait is inline.
+    pub io_wait_time: Duration,
+    /// Pipelined runs only: time the prefetcher and sampling workers spent
+    /// blocked on back-pressure or write-back dependencies.
+    pub stall_time: Duration,
+    /// Pipelined runs only: summed per-stage busy time divided by epoch wall
+    /// time. Values above 1.0 quantify how much work the stages overlapped;
+    /// 0.0 on the sequential path.
+    pub overlap: f64,
     /// Bytes read from disk during the epoch.
     pub io_bytes_read: u64,
     /// Bytes written to disk during the epoch.

@@ -1,18 +1,30 @@
 //! Link-prediction training: in-memory and out-of-core epoch loops.
 
 use super::{read_all_embeddings, shuffle_in_place};
-use crate::config::{DiskConfig, ModelConfig, PolicyKind, TrainConfig};
+use crate::config::{DiskConfig, ModelConfig, PipelineConfig, PolicyKind, TrainConfig};
 use crate::models::{BatchStats, LinkPredictionModel};
 use crate::report::{EpochReport, ExperimentReport};
 use crate::source::TableSource;
 use marius_gnn::EmbeddingTable;
 use marius_graph::datasets::ScaledDataset;
-use marius_graph::{Edge, InMemorySubgraph, NodeId, Partitioner};
+use marius_graph::{Edge, EdgeBucket, InMemorySubgraph, NodeId, Partitioner};
+use marius_pipeline::{step_seed, Pipeline};
 use marius_storage::policy::ReplacementPolicy;
-use marius_storage::{BetaPolicy, CometPolicy, IoCostModel, PartitionBuffer, PartitionStore};
+use marius_storage::{
+    BetaPolicy, CometPolicy, EpochPlan, IoCostModel, PartitionBuffer, PartitionStore, Result,
+    StorageError,
+};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
+
+/// Converts a graph-layer failure into the storage error the disk trainers
+/// propagate.
+pub(crate) fn graph_err(e: marius_graph::GraphError) -> StorageError {
+    StorageError::InvalidPlan {
+        reason: format!("graph construction failed: {e}"),
+    }
+}
 
 /// Orchestrates link-prediction training for one model configuration.
 pub struct LinkPredictionTrainer {
@@ -22,16 +34,39 @@ pub struct LinkPredictionTrainer {
     pub train: TrainConfig,
     /// IO cost model used to estimate disk time for reports.
     pub io_model: IoCostModel,
+    /// Staged-runtime configuration for disk-based training; disabled selects
+    /// the sequential fallback.
+    pub pipeline: PipelineConfig,
+    /// When `true`, the partition store emulates the `io_model` device
+    /// (reads/writes sleep to the modeled transfer time) instead of running at
+    /// page-cache speed. Used by benchmarks that measure IO/compute overlap.
+    pub emulate_device: bool,
 }
 
 impl LinkPredictionTrainer {
-    /// Creates a trainer.
+    /// Creates a trainer (sequential disk path by default).
     pub fn new(model: ModelConfig, train: TrainConfig) -> Self {
         LinkPredictionTrainer {
             model,
             train,
             io_model: IoCostModel::default(),
+            pipeline: PipelineConfig::disabled(),
+            emulate_device: false,
         }
+    }
+
+    /// Selects the pipelined disk-training runtime.
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Runs disk training against an emulated `model` device instead of the
+    /// raw local filesystem (see `PartitionStore::with_emulated_device`).
+    pub fn with_emulated_device(mut self, model: IoCostModel) -> Self {
+        self.io_model = model;
+        self.emulate_device = true;
+        self
     }
 
     fn accumulate(epoch: &mut EpochReport, stats: &BatchStats) {
@@ -97,36 +132,162 @@ impl LinkPredictionTrainer {
         report
     }
 
+    /// One sequential disk epoch: swaps, sampling and compute interleaved on
+    /// the calling thread. Serves as the determinism oracle for the pipelined
+    /// executor: both derive per-step RNGs from `step_seed(epoch_seed, step)`
+    /// and therefore produce bit-identical loss trajectories.
+    #[allow(clippy::too_many_arguments)]
+    fn run_epoch_sequential(
+        &self,
+        plan: &EpochPlan,
+        buffer: &mut PartitionBuffer,
+        buckets: &[EdgeBucket],
+        p: u32,
+        epoch_seed: u64,
+        model: &mut LinkPredictionModel,
+        epoch: &mut EpochReport,
+    ) -> Result<()> {
+        let mut batch_counter = 0usize;
+        for (s, (set, assigned)) in plan
+            .partition_sets
+            .iter()
+            .zip(&plan.bucket_assignment)
+            .enumerate()
+        {
+            let mut step_rng = StdRng::seed_from_u64(step_seed(epoch_seed, s as u64));
+            epoch.partition_loads += buffer.load_set(set)?;
+            // Collect this step's training examples (edges of the assigned
+            // buckets) and shuffle them for mini-batch generation.
+            let mut step_edges: Vec<Edge> = Vec::new();
+            for &(i, j) in assigned {
+                step_edges.extend_from_slice(&buckets[(i * p + j) as usize].edges);
+            }
+            shuffle_in_place(&mut step_edges, &mut step_rng);
+            let candidates = buffer.resident_nodes();
+            // One shared snapshot per step (the subgraph only changes on
+            // load_set); the Arc handle lets each batch borrow the buffer
+            // mutably without deep-copying the CSR structures.
+            let subgraph_snapshot = buffer.subgraph_arc();
+            for batch in step_edges.chunks(self.train.batch_size) {
+                if self.train.max_batches_per_epoch > 0
+                    && batch_counter >= self.train.max_batches_per_epoch
+                {
+                    break;
+                }
+                let stats = model.train_batch(
+                    buffer,
+                    &subgraph_snapshot,
+                    batch,
+                    &candidates,
+                    &mut step_rng,
+                );
+                Self::accumulate(epoch, &stats);
+                batch_counter += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// One pipelined disk epoch on the staged runtime: stage 2 workers shuffle
+    /// the step's bucket edges and build prepared batches (negatives + DENSE
+    /// sampling) while stage 1 prefetches upcoming partition sets and this
+    /// thread consumes `train_prepared` updates.
+    #[allow(clippy::too_many_arguments)]
+    fn run_epoch_pipelined(
+        &self,
+        pipe: &Pipeline,
+        plan: &EpochPlan,
+        buffer: &mut PartitionBuffer,
+        buckets: &[EdgeBucket],
+        p: u32,
+        epoch_seed: u64,
+        model: &mut LinkPredictionModel,
+        epoch: &mut EpochReport,
+    ) -> Result<()> {
+        // Per-step start offsets into the global batch budget so the cap is
+        // applied identically to the sequential counter even though workers
+        // build steps concurrently.
+        let batch_size = self.train.batch_size;
+        let max_batches = self.train.max_batches_per_epoch;
+        let mut batch_offsets = Vec::with_capacity(plan.bucket_assignment.len());
+        let mut acc = 0usize;
+        for assigned in &plan.bucket_assignment {
+            batch_offsets.push(acc);
+            let step_edges: usize = assigned
+                .iter()
+                .map(|&(i, j)| buckets[(i * p + j) as usize].edges.len())
+                .sum();
+            acc += step_edges.div_ceil(batch_size);
+        }
+        let builder = model.batch_builder();
+        let report = pipe.run_epoch(
+            plan,
+            buffer,
+            epoch_seed,
+            |ctx, step_rng, sink| {
+                let mut step_edges: Vec<Edge> = Vec::new();
+                for &(i, j) in &plan.bucket_assignment[ctx.step] {
+                    step_edges.extend_from_slice(&buckets[(i * p + j) as usize].edges);
+                }
+                shuffle_in_place(&mut step_edges, step_rng);
+                for (k, chunk) in step_edges.chunks(batch_size).enumerate() {
+                    if max_batches > 0 && batch_offsets[ctx.step] + k >= max_batches {
+                        break;
+                    }
+                    sink(builder.prepare(&ctx.subgraph, chunk, &ctx.candidates, step_rng));
+                }
+            },
+            |buffer, _ctx, prepared| {
+                let stats = model.train_prepared(buffer, prepared);
+                Self::accumulate(epoch, &stats);
+            },
+        )?;
+        epoch.partition_loads += report.partition_loads;
+        epoch.io_wait_time += report.compute_stall;
+        epoch.stall_time += report.prefetch_stall + report.sample_stall;
+        epoch.overlap = report.overlap_ratio();
+        Ok(())
+    }
+
     /// Trains out-of-core with a partition buffer driven by the configured
-    /// replacement policy (the M-GNN_Disk configuration).
-    pub fn train_disk(&self, data: &ScaledDataset, disk: &DiskConfig) -> ExperimentReport {
+    /// replacement policy (the M-GNN_Disk configuration). Runs on the staged
+    /// pipeline runtime when `self.pipeline.enabled`, otherwise sequentially.
+    pub fn train_disk(&self, data: &ScaledDataset, disk: &DiskConfig) -> Result<ExperimentReport> {
         let mut rng = StdRng::seed_from_u64(self.train.seed);
         let label = match disk.policy {
             PolicyKind::Comet => "M-GNN_Disk (COMET)",
             PolicyKind::Beta => "M-GNN_Disk (BETA)",
-            PolicyKind::NodeCache => "M-GNN_Disk (node-cache)",
+            PolicyKind::NodeCache => {
+                return Err(StorageError::InvalidPlan {
+                    reason: "node-cache policy applies to node classification only".into(),
+                })
+            }
         };
         let mut report = ExperimentReport::new(label, data.spec.name.clone());
 
         // Partition the graph and materialise the on-disk layout.
-        let partitioner = Partitioner::new(disk.num_partitions).expect("positive partition count");
+        let partitioner = Partitioner::new(disk.num_partitions).map_err(graph_err)?;
         let assignment = partitioner.random(data.num_nodes(), &mut rng);
         let train_graph = marius_graph::EdgeList::from_edges(
             data.num_nodes(),
             data.spec.num_relations,
             data.train_edges.clone(),
         )
-        .expect("train edges in range");
+        .map_err(graph_err)?;
         let buckets = partitioner
             .build_buckets(&train_graph, &assignment)
-            .expect("bucket construction");
+            .map_err(graph_err)?;
         let store = PartitionStore::open_temp(&format!(
             "lp-{}-{}",
             data.spec.name.replace('.', "-"),
             label.replace([' ', '(', ')'], "")
-        ))
-        .expect("temp store");
-        store.clear().expect("clean store");
+        ))?;
+        let store = if self.emulate_device {
+            store.with_emulated_device(self.io_model)
+        } else {
+            store
+        };
+        store.clear()?;
         let mut buffer = PartitionBuffer::new(
             store.clone(),
             assignment.clone(),
@@ -135,13 +296,15 @@ impl LinkPredictionTrainer {
             true,
         )
         .with_learning_rate(self.model.embedding_learning_rate);
-        buffer
-            .initialize_random(0.1, &mut rng)
-            .expect("initial embeddings");
-        buffer.initialize_buckets(&buckets).expect("bucket files");
+        buffer.initialize_random(0.1, &mut rng)?;
+        buffer.initialize_buckets(&buckets)?;
 
         let mut model = LinkPredictionModel::new(&self.model, data.spec.num_relations, &mut rng)
             .with_negatives(self.train.num_negatives);
+        let pipeline = self
+            .pipeline
+            .enabled
+            .then(|| Pipeline::new(self.pipeline.clone()));
 
         // Evaluation uses the full graph structure (read-only) with embeddings
         // reassembled from disk after each epoch.
@@ -164,47 +327,37 @@ impl LinkPredictionTrainer {
                     } else {
                         CometPolicy::new(disk.buffer_capacity, disk.num_logical)
                     };
-                    policy.plan(p, &mut rng).expect("valid COMET plan")
+                    policy.plan(p, &mut rng)?
                 }
-                PolicyKind::Beta => BetaPolicy::new(disk.buffer_capacity)
-                    .plan(p, &mut rng)
-                    .expect("valid BETA plan"),
-                PolicyKind::NodeCache => {
-                    panic!("node-cache policy applies to node classification only")
-                }
+                PolicyKind::Beta => BetaPolicy::new(disk.buffer_capacity).plan(p, &mut rng)?,
+                PolicyKind::NodeCache => unreachable!("rejected above"),
             };
-
-            let mut batch_counter = 0usize;
-            for (set, assigned) in plan.partition_sets.iter().zip(&plan.bucket_assignment) {
-                let loads = buffer.load_set(set).expect("load partition set");
-                epoch.partition_loads += loads;
-                // Collect this step's training examples (edges of the assigned
-                // buckets) and shuffle them for mini-batch generation.
-                let mut step_edges: Vec<Edge> = Vec::new();
-                for &(i, j) in assigned {
-                    step_edges.extend_from_slice(&buckets[(i * p + j) as usize].edges);
-                }
-                shuffle_in_place(&mut step_edges, &mut rng);
-                let candidates = buffer.resident_nodes();
-                for batch in step_edges.chunks(self.train.batch_size) {
-                    if self.train.max_batches_per_epoch > 0
-                        && batch_counter >= self.train.max_batches_per_epoch
-                    {
-                        break;
-                    }
-                    let subgraph_snapshot = buffer.subgraph().clone();
-                    let stats = model.train_batch(
-                        &mut buffer,
-                        &subgraph_snapshot,
-                        batch,
-                        &candidates,
-                        &mut rng,
-                    );
-                    Self::accumulate(&mut epoch, &stats);
-                    batch_counter += 1;
-                }
+            // Every random draw inside the epoch derives from this seed (per
+            // step), so the sequential and pipelined executors are
+            // interchangeable bit-for-bit.
+            let epoch_seed: u64 = rng.gen();
+            match &pipeline {
+                Some(pipe) => self.run_epoch_pipelined(
+                    pipe,
+                    &plan,
+                    &mut buffer,
+                    &buckets,
+                    p,
+                    epoch_seed,
+                    &mut model,
+                    &mut epoch,
+                )?,
+                None => self.run_epoch_sequential(
+                    &plan,
+                    &mut buffer,
+                    &buckets,
+                    p,
+                    epoch_seed,
+                    &mut model,
+                    &mut epoch,
+                )?,
             }
-            buffer.flush().expect("flush partitions");
+            buffer.flush()?;
             epoch.epoch_time = start.elapsed();
 
             let io = store.io_stats();
@@ -213,7 +366,7 @@ impl LinkPredictionTrainer {
             epoch.io_time = self.io_model.stats_time(&io);
 
             // Full-graph evaluation with embeddings reassembled from disk.
-            let flat = read_all_embeddings(&store, &assignment, self.model.input_dim);
+            let flat = read_all_embeddings(&store, &assignment, self.model.input_dim)?;
             let eval_source =
                 TableSource::new(EmbeddingTable::from_rows(flat, self.model.input_dim));
             epoch.metric = model.evaluate_mrr(
@@ -228,7 +381,7 @@ impl LinkPredictionTrainer {
             report.epochs.push(epoch);
         }
         let _ = store.clear();
-        report
+        Ok(report)
     }
 }
 
@@ -270,7 +423,7 @@ mod tests {
         let data = tiny_dataset();
         let trainer = quick_trainer(1);
         let disk = DiskConfig::comet(8, 4);
-        let report = trainer.train_disk(&data, &disk);
+        let report = trainer.train_disk(&data, &disk).unwrap();
         assert_eq!(report.epochs.len(), 2);
         assert!(report.epochs[0].partition_loads >= 4);
         assert!(report.epochs[0].io_bytes_read > 0);
@@ -286,9 +439,36 @@ mod tests {
         let data = tiny_dataset();
         let trainer = quick_trainer(1);
         let disk = DiskConfig::beta(8, 4);
-        let report = trainer.train_disk(&data, &disk);
+        let report = trainer.train_disk(&data, &disk).unwrap();
         assert_eq!(report.epochs.len(), 2);
         assert!(report.system.contains("BETA"));
         assert!(report.final_metric() > 0.0);
+    }
+
+    #[test]
+    fn disk_training_rejects_node_cache_policy() {
+        let data = tiny_dataset();
+        let trainer = quick_trainer(1);
+        let err = trainer
+            .train_disk(&data, &DiskConfig::node_cache(8, 4))
+            .unwrap_err();
+        assert!(format!("{err}").contains("node classification"));
+    }
+
+    #[test]
+    fn pipelined_disk_training_matches_sequential_losses() {
+        let data = tiny_dataset();
+        let disk = DiskConfig::comet(8, 4);
+        let sequential = quick_trainer(1).train_disk(&data, &disk).unwrap();
+        let pipelined = quick_trainer(1)
+            .with_pipeline(marius_pipeline::PipelineConfig::with_workers(1))
+            .train_disk(&data, &disk)
+            .unwrap();
+        for (a, b) in sequential.epochs.iter().zip(&pipelined.epochs) {
+            assert_eq!(a.loss, b.loss, "epoch {} loss drifted", a.epoch);
+            assert_eq!(a.metric, b.metric, "epoch {} metric drifted", a.epoch);
+            assert_eq!(a.examples, b.examples);
+        }
+        assert!(pipelined.epochs[0].overlap > 0.0);
     }
 }

@@ -6,6 +6,29 @@
 //! training examples assigned to each subgraph as mini batches. Timing is broken
 //! down into sampling, compute and (estimated) IO so the benchmark harnesses can
 //! report the same columns as the paper's tables.
+//!
+//! # Sequential versus pipelined disk epochs
+//!
+//! Each disk-based trainer has two epoch executors selected by
+//! [`crate::config::PipelineConfig::enabled`]:
+//!
+//! * **Sequential** (`enabled = false`, the default): partition swaps, DENSE
+//!   sampling and compute run back-to-back on the calling thread, so epoch
+//!   time is the *sum* of the three phases. This path is also the determinism
+//!   oracle for the pipeline.
+//! * **Pipelined** (`enabled = true`): the epoch runs on
+//!   [`marius_pipeline::Pipeline`] — a prefetcher thread walks the policy's
+//!   `EpochPlan` ahead of the consumer issuing `PartitionStore` reads, a pool
+//!   of workers builds batches (shuffle, negative sampling, DENSE multi-hop
+//!   sampling), and the calling thread applies `train_prepared` and enqueues
+//!   dirty-partition write-backs — so epoch time approaches the *max* phase.
+//!
+//! Both executors derive every in-epoch random draw from
+//! [`marius_pipeline::step_seed`]`(epoch_seed, step)`, which makes their loss
+//! trajectories bit-identical for a fixed training seed (asserted by the
+//! `pipeline_determinism` integration test at the workspace root). Disk-path
+//! failures (missing or truncated partition files, invalid plans) propagate as
+//! [`marius_storage::StorageError`] instead of panicking.
 
 mod link_prediction;
 mod node_classification;
@@ -14,7 +37,7 @@ pub use link_prediction::LinkPredictionTrainer;
 pub use node_classification::NodeClassificationTrainer;
 
 use marius_graph::PartitionAssignment;
-use marius_storage::PartitionStore;
+use marius_storage::{PartitionStore, Result};
 
 /// Reads every node partition back from disk and assembles a flat
 /// `num_nodes × dim` embedding buffer indexed by global node id. Used to run
@@ -23,19 +46,17 @@ pub(crate) fn read_all_embeddings(
     store: &PartitionStore,
     assignment: &PartitionAssignment,
     dim: usize,
-) -> Vec<f32> {
+) -> Result<Vec<f32>> {
     let mut flat = vec![0.0f32; assignment.num_nodes() as usize * dim];
     for p in 0..assignment.num_partitions() {
-        let (values, _state) = store
-            .read_partition(p)
-            .expect("partition written during training");
+        let (values, _state) = store.read_partition(p)?;
         for (offset, &node) in assignment.nodes_in(p).iter().enumerate() {
             let src = &values[offset * dim..(offset + 1) * dim];
             let dst_start = node as usize * dim;
             flat[dst_start..dst_start + dim].copy_from_slice(src);
         }
     }
-    flat
+    Ok(flat)
 }
 
 /// Deterministically shuffles a vector of items using the provided RNG.
@@ -79,7 +100,7 @@ mod tests {
             let state = vec![0.0; values.len()];
             store.write_partition(p, &values, &state).unwrap();
         }
-        let flat = read_all_embeddings(&store, &assignment, dim);
+        let flat = read_all_embeddings(&store, &assignment, dim).unwrap();
         for n in 0..9usize {
             assert_eq!(flat[n * dim], n as f32);
         }

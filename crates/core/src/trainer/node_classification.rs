@@ -1,16 +1,20 @@
 //! Node-classification training: in-memory and out-of-core epoch loops.
 
+use super::link_prediction::graph_err;
 use super::shuffle_in_place;
-use crate::config::{DiskConfig, ModelConfig, PolicyKind, TrainConfig};
+use crate::config::{DiskConfig, ModelConfig, PipelineConfig, PolicyKind, TrainConfig};
 use crate::models::{BatchStats, NodeClassificationModel};
 use crate::report::{EpochReport, ExperimentReport};
 use crate::source::FixedFeatureSource;
 use marius_graph::datasets::ScaledDataset;
 use marius_graph::{InMemorySubgraph, NodeId, Partitioner};
+use marius_pipeline::{step_seed, Pipeline};
 use marius_storage::policy::ReplacementPolicy;
-use marius_storage::{IoCostModel, NodeCachePolicy, PartitionBuffer, PartitionStore};
+use marius_storage::{
+    EpochPlan, IoCostModel, NodeCachePolicy, PartitionBuffer, PartitionStore, Result, StorageError,
+};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Orchestrates node-classification training for one model configuration.
@@ -21,16 +25,39 @@ pub struct NodeClassificationTrainer {
     pub train: TrainConfig,
     /// IO cost model used to estimate disk time for reports.
     pub io_model: IoCostModel,
+    /// Staged-runtime configuration for disk-based training; disabled selects
+    /// the sequential fallback.
+    pub pipeline: PipelineConfig,
+    /// When `true`, the partition store emulates the `io_model` device
+    /// (reads/writes sleep to the modeled transfer time) instead of running at
+    /// page-cache speed. Used by benchmarks that measure IO/compute overlap.
+    pub emulate_device: bool,
 }
 
 impl NodeClassificationTrainer {
-    /// Creates a trainer.
+    /// Creates a trainer (sequential disk path by default).
     pub fn new(model: ModelConfig, train: TrainConfig) -> Self {
         NodeClassificationTrainer {
             model,
             train,
             io_model: IoCostModel::default(),
+            pipeline: PipelineConfig::disabled(),
+            emulate_device: false,
         }
+    }
+
+    /// Selects the pipelined disk-training runtime.
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Runs disk training against an emulated `model` device instead of the
+    /// raw local filesystem (see `PartitionStore::with_emulated_device`).
+    pub fn with_emulated_device(mut self, model: IoCostModel) -> Self {
+        self.io_model = model;
+        self.emulate_device = true;
+        self
     }
 
     fn accumulate(epoch: &mut EpochReport, stats: &BatchStats) {
@@ -99,32 +126,140 @@ impl NodeClassificationTrainer {
         report
     }
 
+    /// One sequential disk epoch: loads the cached working set, then trains on
+    /// every labeled node batch inline. Mirrors the pipelined executor's RNG
+    /// discipline (`step_seed(epoch_seed, last_step)`) so both produce
+    /// bit-identical loss trajectories.
+    fn run_epoch_sequential(
+        &self,
+        plan: &EpochPlan,
+        buffer: &mut PartitionBuffer,
+        data: &ScaledDataset,
+        epoch_seed: u64,
+        model: &mut NodeClassificationModel,
+        epoch: &mut EpochReport,
+    ) -> Result<()> {
+        for set in &plan.partition_sets {
+            epoch.partition_loads += buffer.load_set(set)?;
+        }
+        let last = plan.partition_sets.len().saturating_sub(1);
+        let mut step_rng = StdRng::seed_from_u64(step_seed(epoch_seed, last as u64));
+        let mut train_nodes = data.node_split.train.clone();
+        shuffle_in_place(&mut train_nodes, &mut step_rng);
+        let subgraph_snapshot = buffer.subgraph_arc();
+        for (i, batch) in train_nodes.chunks(self.train.batch_size).enumerate() {
+            if self.train.max_batches_per_epoch > 0 && i >= self.train.max_batches_per_epoch {
+                break;
+            }
+            let batch_labels = Self::labels_for(data, batch);
+            let stats = model.train_batch(
+                buffer,
+                &subgraph_snapshot,
+                batch,
+                &batch_labels,
+                &mut step_rng,
+            );
+            Self::accumulate(epoch, &stats);
+        }
+        Ok(())
+    }
+
+    /// One pipelined disk epoch: the prefetcher loads the cached working set's
+    /// partitions ahead of the consumer, stage-2 workers run DENSE sampling
+    /// over the labeled-node batches, and this thread applies the updates. All
+    /// training batches belong to the plan's final step (earlier steps only
+    /// stage partitions into the buffer).
+    #[allow(clippy::too_many_arguments)]
+    fn run_epoch_pipelined(
+        &self,
+        pipe: &Pipeline,
+        plan: &EpochPlan,
+        buffer: &mut PartitionBuffer,
+        data: &ScaledDataset,
+        epoch_seed: u64,
+        model: &mut NodeClassificationModel,
+        epoch: &mut EpochReport,
+    ) -> Result<()> {
+        let last = plan.partition_sets.len().saturating_sub(1);
+        let batch_size = self.train.batch_size;
+        let max_batches = self.train.max_batches_per_epoch;
+        let builder = model.batch_builder();
+        let base_nodes = &data.node_split.train;
+        let report = pipe.run_epoch(
+            plan,
+            buffer,
+            epoch_seed,
+            |ctx, step_rng, sink| {
+                if ctx.step != last {
+                    return;
+                }
+                let mut train_nodes = base_nodes.clone();
+                shuffle_in_place(&mut train_nodes, step_rng);
+                for (i, batch) in train_nodes.chunks(batch_size).enumerate() {
+                    if max_batches > 0 && i >= max_batches {
+                        break;
+                    }
+                    let batch_labels = Self::labels_for(data, batch);
+                    sink(builder.prepare(&ctx.subgraph, batch, &batch_labels, step_rng));
+                }
+            },
+            |buffer, _ctx, prepared| {
+                let stats = model.train_prepared(buffer, prepared);
+                Self::accumulate(epoch, &stats);
+            },
+        )?;
+        epoch.partition_loads += report.partition_loads;
+        epoch.io_wait_time += report.compute_stall;
+        epoch.stall_time += report.prefetch_stall + report.sample_stall;
+        epoch.overlap = report.overlap_ratio();
+        Ok(())
+    }
+
     /// Trains out-of-core using the training-node caching policy of §5.2 (the
-    /// M-GNN_Disk configuration for node classification).
-    pub fn train_disk(&self, data: &ScaledDataset, disk: &DiskConfig) -> ExperimentReport {
-        assert_eq!(
-            disk.policy,
-            PolicyKind::NodeCache,
-            "node classification uses the training-node caching policy"
-        );
+    /// M-GNN_Disk configuration for node classification). Runs on the staged
+    /// pipeline runtime when `self.pipeline.enabled`, otherwise sequentially.
+    pub fn train_disk(&self, data: &ScaledDataset, disk: &DiskConfig) -> Result<ExperimentReport> {
+        if disk.policy != PolicyKind::NodeCache {
+            return Err(StorageError::InvalidPlan {
+                reason: "node classification uses the training-node caching policy".into(),
+            });
+        }
         let mut rng = StdRng::seed_from_u64(self.train.seed);
         let mut report = ExperimentReport::new("M-GNN_Disk", data.spec.name.clone());
-        let num_classes = data.spec.num_classes.expect("classification dataset");
+        // Disk paths return errors rather than panicking on malformed input.
+        let num_classes = data
+            .spec
+            .num_classes
+            .ok_or_else(|| StorageError::InvalidPlan {
+                reason: "dataset has no class count; node classification needs a labeled dataset"
+                    .into(),
+            })?;
         let features = data
             .features
             .as_ref()
-            .expect("fixed features for node classification");
+            .ok_or_else(|| StorageError::InvalidPlan {
+                reason: "dataset has no fixed feature matrix for node classification".into(),
+            })?;
+        if data.labels.is_none() {
+            return Err(StorageError::InvalidPlan {
+                reason: "dataset has no node labels for node classification".into(),
+            });
+        }
 
         // Partition with training nodes packed into the leading partitions.
-        let partitioner = Partitioner::new(disk.num_partitions).expect("positive partition count");
+        let partitioner = Partitioner::new(disk.num_partitions).map_err(graph_err)?;
         let (assignment, k) =
             partitioner.training_nodes_first(data.num_nodes(), &data.node_split.train, &mut rng);
         let buckets = partitioner
             .build_buckets(&data.graph, &assignment)
-            .expect("bucket construction");
-        let store = PartitionStore::open_temp(&format!("nc-{}", data.spec.name.replace('.', "-")))
-            .expect("temp store");
-        store.clear().expect("clean store");
+            .map_err(graph_err)?;
+        let store = PartitionStore::open_temp(&format!("nc-{}", data.spec.name.replace('.', "-")))?;
+        let store = if self.emulate_device {
+            store.with_emulated_device(self.io_model)
+        } else {
+            store
+        };
+        store.clear()?;
         let mut buffer = PartitionBuffer::new(
             store.clone(),
             assignment,
@@ -132,20 +267,21 @@ impl NodeClassificationTrainer {
             disk.buffer_capacity,
             false,
         );
-        buffer
-            .initialize_from_features(features.data())
-            .expect("feature partitions");
-        buffer.initialize_buckets(&buckets).expect("bucket files");
+        buffer.initialize_from_features(features.data())?;
+        buffer.initialize_buckets(&buckets)?;
 
         let mut model = NodeClassificationModel::new(&self.model, num_classes, &mut rng);
         let policy = NodeCachePolicy::new(disk.buffer_capacity, k);
+        let pipeline = self
+            .pipeline
+            .enabled
+            .then(|| Pipeline::new(self.pipeline.clone()));
 
         // Evaluation runs over the full graph with the fixed features.
         let eval_subgraph = InMemorySubgraph::from_edges(data.graph.edges());
         let eval_source = FixedFeatureSource::new(features.clone());
         let test_labels = Self::labels_for(data, &data.node_split.test);
 
-        let mut train_nodes = data.node_split.train.clone();
         for epoch_idx in 0..self.train.epochs {
             let mut epoch = EpochReport {
                 epoch: epoch_idx,
@@ -153,30 +289,29 @@ impl NodeClassificationTrainer {
             };
             store.reset_io_stats();
             let start = Instant::now();
-            let plan = policy
-                .plan(disk.num_partitions, &mut rng)
-                .expect("valid node-cache plan");
-            // One partition set per epoch: load it, then train on all labeled
-            // nodes (all of which are resident by construction).
-            for set in &plan.partition_sets {
-                let loads = buffer.load_set(set).expect("load partition set");
-                epoch.partition_loads += loads;
-            }
-            shuffle_in_place(&mut train_nodes, &mut rng);
-            let subgraph_snapshot = buffer.subgraph().clone();
-            for (i, batch) in train_nodes.chunks(self.train.batch_size).enumerate() {
-                if self.train.max_batches_per_epoch > 0 && i >= self.train.max_batches_per_epoch {
-                    break;
-                }
-                let batch_labels = Self::labels_for(data, batch);
-                let stats = model.train_batch(
+            let plan = policy.plan(disk.num_partitions, &mut rng)?;
+            // Every random draw inside the epoch derives from this seed, so
+            // the sequential and pipelined executors are interchangeable
+            // bit-for-bit.
+            let epoch_seed: u64 = rng.gen();
+            match &pipeline {
+                Some(pipe) => self.run_epoch_pipelined(
+                    pipe,
+                    &plan,
                     &mut buffer,
-                    &subgraph_snapshot,
-                    batch,
-                    &batch_labels,
-                    &mut rng,
-                );
-                Self::accumulate(&mut epoch, &stats);
+                    data,
+                    epoch_seed,
+                    &mut model,
+                    &mut epoch,
+                )?,
+                None => self.run_epoch_sequential(
+                    &plan,
+                    &mut buffer,
+                    data,
+                    epoch_seed,
+                    &mut model,
+                    &mut epoch,
+                )?,
             }
             epoch.epoch_time = start.elapsed();
             let io = store.io_stats();
@@ -194,7 +329,7 @@ impl NodeClassificationTrainer {
             report.epochs.push(epoch);
         }
         let _ = store.clear();
-        report
+        Ok(report)
     }
 }
 
@@ -238,7 +373,7 @@ mod tests {
         let data = tiny_dataset();
         let trainer = quick_trainer();
         let disk = DiskConfig::node_cache(8, 6);
-        let report = trainer.train_disk(&data, &disk);
+        let report = trainer.train_disk(&data, &disk).unwrap();
         assert_eq!(report.epochs.len(), 2);
         // The caching policy loads the buffer once per epoch and performs no
         // swaps during it.
@@ -248,11 +383,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "node classification uses the training-node caching policy")]
     fn disk_training_rejects_non_cache_policy() {
         let data = tiny_dataset();
         let trainer = quick_trainer();
-        let disk = DiskConfig::comet(8, 4);
-        let _ = trainer.train_disk(&data, &disk);
+        let err = trainer
+            .train_disk(&data, &DiskConfig::comet(8, 4))
+            .unwrap_err();
+        assert!(format!("{err}").contains("training-node caching policy"));
+    }
+
+    #[test]
+    fn pipelined_disk_training_matches_sequential_losses() {
+        let data = tiny_dataset();
+        let disk = DiskConfig::node_cache(8, 6);
+        let sequential = quick_trainer().train_disk(&data, &disk).unwrap();
+        let pipelined = quick_trainer()
+            .with_pipeline(marius_pipeline::PipelineConfig::with_workers(1))
+            .train_disk(&data, &disk)
+            .unwrap();
+        for (a, b) in sequential.epochs.iter().zip(&pipelined.epochs) {
+            assert_eq!(a.loss, b.loss, "epoch {} loss drifted", a.epoch);
+            assert_eq!(a.metric, b.metric, "epoch {} metric drifted", a.epoch);
+        }
     }
 }

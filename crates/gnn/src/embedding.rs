@@ -49,7 +49,7 @@ impl EmbeddingTable {
     /// no-ops at the caller's discretion).
     pub fn from_rows(rows: Vec<f32>, dim: usize) -> Self {
         assert!(
-            dim > 0 && rows.len() % dim == 0,
+            dim > 0 && rows.len().is_multiple_of(dim),
             "row buffer not a multiple of dim"
         );
         let n = rows.len() / dim;
@@ -70,11 +70,7 @@ impl EmbeddingTable {
 
     /// Number of rows (nodes) in the table.
     pub fn num_nodes(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.values.len() / self.dim
-        }
+        self.values.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// Embedding dimension.
@@ -151,7 +147,10 @@ impl EmbeddingTable {
     /// partition from disk into the in-memory table.
     pub fn load_rows(&mut self, start: usize, data: &[f32], state: &[f32]) {
         assert_eq!(data.len(), state.len(), "value/state length mismatch");
-        assert!(data.len() % self.dim == 0, "row data not a multiple of dim");
+        assert!(
+            data.len().is_multiple_of(self.dim),
+            "row data not a multiple of dim"
+        );
         let begin = start * self.dim;
         self.values[begin..begin + data.len()].copy_from_slice(data);
         self.adagrad_state[begin..begin + state.len()].copy_from_slice(state);

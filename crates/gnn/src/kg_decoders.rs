@@ -22,7 +22,10 @@ impl TransE {
     /// Creates a TransE decoder with `num_relations` translation vectors.
     pub fn new<R: Rng + ?Sized>(num_relations: usize, dim: usize, rng: &mut R) -> Self {
         TransE {
-            relations: Param::new("transe.relations", uniform_init(rng, num_relations.max(1), dim, 0.5)),
+            relations: Param::new(
+                "transe.relations",
+                uniform_init(rng, num_relations.max(1), dim, 0.5),
+            ),
             dim,
         }
     }
@@ -93,7 +96,13 @@ impl TransE {
             for d in 0..self.dim {
                 let diff = src.get(b, d) + self.relations.value.get(rel_row, d) - dst.get(b, d);
                 // d(-|x|)/dx = -sign(x).
-                let s = if diff > 0.0 { 1.0 } else if diff < 0.0 { -1.0 } else { 0.0 };
+                let s = if diff > 0.0 {
+                    1.0
+                } else if diff < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                };
                 grad_src.set(b, d, -g * s);
                 grad_dst.set(b, d, g * s);
                 let cur = grad_rel.get(rel_row, d);
@@ -121,7 +130,10 @@ impl ComplEx {
     ///
     /// Panics if `dim` is odd.
     pub fn new<R: Rng + ?Sized>(num_relations: usize, dim: usize, rng: &mut R) -> Self {
-        assert!(dim % 2 == 0, "ComplEx requires an even embedding dimension");
+        assert!(
+            dim.is_multiple_of(2),
+            "ComplEx requires an even embedding dimension"
+        );
         ComplEx {
             relations: Param::new(
                 "complex.relations",
@@ -227,18 +239,18 @@ mod tests {
             p.set(0, d, p.get(0, d) + eps);
             let mut m = src.clone();
             m.set(0, d, m.get(0, d) - eps);
-            let numeric =
-                (t.score_positive(&p, &rels, &dst).get(0, 0) - t.score_positive(&m, &rels, &dst).get(0, 0))
-                    / (2.0 * eps);
+            let numeric = (t.score_positive(&p, &rels, &dst).get(0, 0)
+                - t.score_positive(&m, &rels, &dst).get(0, 0))
+                / (2.0 * eps);
             assert!((numeric - g_src.get(0, d)).abs() < 1e-2, "src {d}");
 
             let mut p = dst.clone();
             p.set(0, d, p.get(0, d) + eps);
             let mut m = dst.clone();
             m.set(0, d, m.get(0, d) - eps);
-            let numeric =
-                (t.score_positive(&src, &rels, &p).get(0, 0) - t.score_positive(&src, &rels, &m).get(0, 0))
-                    / (2.0 * eps);
+            let numeric = (t.score_positive(&src, &rels, &p).get(0, 0)
+                - t.score_positive(&src, &rels, &m).get(0, 0))
+                / (2.0 * eps);
             assert!((numeric - g_dst.get(0, d)).abs() < 1e-2, "dst {d}");
         }
     }

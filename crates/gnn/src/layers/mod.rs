@@ -48,7 +48,7 @@ impl LayerContext {
     /// Panics if `dense.build_repr_map` has not been called.
     pub fn from_dense(dense: &Dense) -> Self {
         assert!(
-            !dense.nbrs().is_empty() == !dense.repr_map().is_empty(),
+            dense.nbrs().is_empty() == dense.repr_map().is_empty(),
             "LayerContext requires Dense::build_repr_map to have been called"
         );
         LayerContext {

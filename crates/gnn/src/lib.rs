@@ -1,3 +1,7 @@
+// Index-based loops are the idiom throughout these hand-written kernels
+// (forward and backward walk several tensors in lockstep by row index).
+#![allow(clippy::needless_range_loop)]
+
 //! GNN models, decoders, losses and optimizers for the MariusGNN reproduction.
 //!
 //! The crate implements the model zoo used throughout the paper's evaluation:
@@ -31,7 +35,7 @@ pub mod optimizer;
 
 pub use decoder::{ClassifierHead, DistMult};
 pub use embedding::EmbeddingTable;
-pub use kg_decoders::{ComplEx, TransE};
 pub use encoder::Encoder;
+pub use kg_decoders::{ComplEx, TransE};
 pub use layers::{GatLayer, GcnLayer, GnnLayer, GraphSageLayer, LayerContext};
 pub use optimizer::{Optimizer, Param};

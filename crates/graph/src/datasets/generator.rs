@@ -35,11 +35,7 @@ impl FeatureMatrix {
 
     /// Number of rows (nodes).
     pub fn num_rows(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// Feature dimension.

@@ -186,8 +186,8 @@ impl EdgeList {
         let mut valid = Vec::with_capacity(n_valid);
         let mut test = Vec::with_capacity(n_test);
         // Deterministic striding keeps the split reproducible without shuffling.
-        let stride_valid = if n_valid > 0 { n / n_valid } else { usize::MAX };
-        let stride_test = if n_test > 0 { n / n_test } else { usize::MAX };
+        let stride_valid = n.checked_div(n_valid).unwrap_or(usize::MAX);
+        let stride_test = n.checked_div(n_test).unwrap_or(usize::MAX);
         for (i, e) in self.edges.iter().enumerate() {
             if stride_valid != usize::MAX && i % stride_valid == 0 && valid.len() < n_valid {
                 valid.push(*e);

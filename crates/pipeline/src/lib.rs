@@ -1,0 +1,902 @@
+//! Staged, multi-threaded training runtime that overlaps disk IO, CPU batch
+//! construction, and model compute (`marius-pipeline`).
+//!
+//! The sequential out-of-core trainer pays `IO + sample + compute` per epoch
+//! because every partition swap, every DENSE neighbourhood sample, and every
+//! forward/backward step runs on one thread. This crate turns the epoch into a
+//! three-stage pipeline so the wall time approaches
+//! `max(IO, sample, compute)` — the paper's core systems claim:
+//!
+//! ```text
+//!             EpochPlan (replacement policy: COMET / BETA / node-cache)
+//!                 │ steps S₁ … Sₙ
+//!                 ▼
+//!  ┌──────────────────────────┐   StepIn (partitions + bucket edges
+//!  │ Stage 1: prefetcher      │   + subgraph + candidates)
+//!  │ (1 thread)               ├──────────────┐  bounded, depth =
+//!  │ reads PartitionStore     │              │  `prefetch_depth`
+//!  │ ahead of the consumer    │              ▼
+//!  └──────────────────────────┘   ┌──────────────────────────┐
+//!        ▲ waits for the          │ Stage 2: batch builders  │
+//!        │ write-back of a        │ (`num_sampling_workers`  │
+//!        │ partition's last       │  threads)                │
+//!        │ eviction before        │ shuffle + negative       │
+//!        │ re-reading it          │ sampling + DENSE         │
+//!        │                        │ multi-hop sampling       │
+//!        │                        └────────────┬─────────────┘
+//!        │                                     │ StepOut::{Begin,Batch,End}
+//!        │                                     │ bounded, depth = `queue_depth`
+//!        │                                     ▼
+//!  ┌─────┴────────────────────────────────────────────────────┐
+//!  │ Stage 3: compute consumer (the calling thread)           │
+//!  │ installs prefetched partitions into the PartitionBuffer, │
+//!  │ applies train_prepared / optimizer updates, and writes   │
+//!  │ dirty partitions back on eviction                        │
+//!  └──────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! # Queue semantics
+//!
+//! Every edge between stages is a bounded blocking queue: producers block when
+//! the queue is full (back-pressure keeps memory bounded by
+//! `prefetch_depth`/`queue_depth`), consumers block when it is empty, and both
+//! directions account their blocked time so [`PipelineReport`] can attribute
+//! stalls to the stage that caused them. Steps are distributed round-robin
+//! across batch-builder workers (step `s` is owned by worker `s % W`), each
+//! worker preserves within-step batch order, and the consumer drains worker
+//! queues in step order — so batches reach the model in exactly the
+//! deterministic `(step, batch)` order of the sequential trainer.
+//!
+//! # Determinism
+//!
+//! All randomness consumed inside the pipeline (shuffling, negative sampling,
+//! DENSE multi-hop sampling) is drawn from per-step RNGs seeded with
+//! [`step_seed`]`(epoch_seed, step)`. The sequential fallback in `marius-core`
+//! uses the same derivation, so for any worker count a pipelined epoch
+//! reproduces the sequential loss trajectory bit-for-bit — the sequential path
+//! is the determinism oracle for this crate.
+//!
+//! # Write-back correctness
+//!
+//! A partition may be evicted at step `e` and re-loaded at a later step `s`.
+//! The prefetcher must not read its file until the consumer has written the
+//! evicted (dirty) copy back, so stage 3 publishes a "transitions completed"
+//! watermark and the prefetcher waits for `watermark ≥ e` before issuing the
+//! read. Edge-bucket files are immutable during an epoch and are prefetched
+//! without synchronisation.
+
+use marius_graph::{Edge, InMemorySubgraph, NodeId, PartitionId};
+use marius_storage::{PartitionBuffer, Result, StorageError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+pub use marius_storage::EpochPlan;
+
+/// Configuration of the staged training runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Whether the pipelined runtime is used at all; `false` selects the
+    /// sequential fallback path in the trainers (the determinism oracle).
+    pub enabled: bool,
+    /// Number of stage-2 batch-construction worker threads.
+    pub num_sampling_workers: usize,
+    /// Capacity of each worker→consumer batch queue.
+    pub queue_depth: usize,
+    /// Capacity of each prefetcher→worker step queue: how many partition-set
+    /// steps of embedding/bucket data may sit in memory ahead of the consumer,
+    /// per worker.
+    pub prefetch_depth: usize,
+}
+
+impl PipelineConfig {
+    /// A disabled configuration (sequential fallback).
+    pub fn disabled() -> Self {
+        PipelineConfig {
+            enabled: false,
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// An enabled configuration with `workers` sampling workers.
+    pub fn with_workers(workers: usize) -> Self {
+        PipelineConfig {
+            enabled: true,
+            num_sampling_workers: workers.max(1),
+            ..PipelineConfig::default()
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            enabled: false,
+            num_sampling_workers: 2,
+            queue_depth: 4,
+            prefetch_depth: 2,
+        }
+    }
+}
+
+/// Derives the RNG seed for one plan step of one epoch (SplitMix64 over the
+/// epoch seed and step index). Shared by the pipelined runtime and the
+/// sequential fallback so both consume randomness identically.
+pub fn step_seed(epoch_seed: u64, step: u64) -> u64 {
+    let mut z = epoch_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(step.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Everything a batch-construction worker (and the consumer) needs to know
+/// about one plan step, assembled by the prefetcher.
+pub struct StepContext {
+    /// Step index within the epoch plan.
+    pub step: usize,
+    /// Physical partitions resident during this step, in plan order.
+    pub set: Vec<PartitionId>,
+    /// Node ids of the resident partitions in ascending-partition order —
+    /// identical to `PartitionBuffer::resident_nodes` after the swap, so
+    /// negative sampling draws from the same candidate list as the sequential
+    /// path.
+    pub candidates: Vec<NodeId>,
+    /// The in-memory subgraph over the step's edge buckets (read in the same
+    /// `set × set` order the sequential `load_set` uses).
+    pub subgraph: Arc<InMemorySubgraph>,
+}
+
+/// Payload flowing from the context prefetcher to a worker.
+struct StepIn {
+    ctx: Arc<StepContext>,
+    /// Concatenated bucket edges, handed to the buffer on install.
+    edges: Vec<Edge>,
+}
+
+/// One newly read partition: `(id, embedding values, optimizer state)`.
+type PartitionPayload = (PartitionId, Vec<f32>, Vec<f32>);
+
+/// The partitions to install for one step — the ones not resident when the
+/// step begins. Flows from the partition prefetcher straight to the consumer,
+/// in step order.
+type StepParts = (usize, Vec<PartitionPayload>);
+
+/// Items flowing from a worker to the consumer.
+enum StepOut<B> {
+    /// Step boundary: the consumer swaps the buffer to `ctx.set` using the
+    /// separately prefetched partition payload (no disk reads on the critical
+    /// path).
+    Begin {
+        ctx: Arc<StepContext>,
+        edges: Vec<Edge>,
+    },
+    /// One constructed training batch.
+    Batch(B),
+    /// The step produced all of its batches.
+    End,
+    /// A storage error encountered upstream; aborts the epoch.
+    Err(StorageError),
+}
+
+/// A blocking bounded queue with stall accounting and cooperative shutdown.
+struct BoundedQueue<T> {
+    inner: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Pushes `item`, blocking while full. Returns the time spent blocked, or
+    /// `None` if the queue was closed (the item is dropped).
+    fn push(&self, item: T) -> Option<Duration> {
+        let start = Instant::now();
+        let mut state = self.inner.lock().expect("queue poisoned");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        if state.closed {
+            return None;
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Some(start.elapsed())
+    }
+
+    /// Pops an item, blocking while empty. Returns `None` once the queue is
+    /// closed *and* drained; otherwise the item and the time spent blocked.
+    fn pop(&self) -> Option<(T, Duration)> {
+        let start = Instant::now();
+        let mut state = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some((item, start.elapsed()));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: blocked producers drop their items, blocked consumers
+    /// drain what is left and then observe the end of the stream.
+    fn close(&self) {
+        let mut state = self.inner.lock().expect("queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// The consumer's step-transition watermark the prefetcher synchronises on.
+struct TransitionClock {
+    /// Highest step index whose buffer swap (including eviction write-backs)
+    /// has completed; -1 before the first.
+    done: Mutex<i64>,
+    advanced: Condvar,
+    abort: AtomicBool,
+}
+
+impl TransitionClock {
+    fn new() -> Self {
+        TransitionClock {
+            done: Mutex::new(-1),
+            advanced: Condvar::new(),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    fn publish(&self, step: i64) {
+        let mut done = self.done.lock().expect("clock poisoned");
+        *done = (*done).max(step);
+        drop(done);
+        self.advanced.notify_all();
+    }
+
+    /// Blocks until the watermark reaches `step` (or an abort). Returns the
+    /// time spent blocked.
+    fn wait_for(&self, step: i64) -> Duration {
+        let start = Instant::now();
+        let mut done = self.done.lock().expect("clock poisoned");
+        while *done < step && !self.abort.load(Ordering::Relaxed) {
+            done = self.advanced.wait(done).expect("clock poisoned");
+        }
+        start.elapsed()
+    }
+
+    fn abort(&self) {
+        self.abort.store(true, Ordering::Relaxed);
+        self.advanced.notify_all();
+    }
+}
+
+/// Nanosecond busy/stall accounting shared across threads.
+#[derive(Default)]
+struct StageClocks {
+    prefetch_busy: AtomicU64,
+    prefetch_stall: AtomicU64,
+    sample_busy: AtomicU64,
+    sample_stall: AtomicU64,
+}
+
+fn add_nanos(cell: &AtomicU64, d: Duration) {
+    cell.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+}
+
+fn nanos(cell: &AtomicU64) -> Duration {
+    Duration::from_nanos(cell.load(Ordering::Relaxed))
+}
+
+/// Per-stage occupancy and stall counters for one pipelined epoch.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Plan steps executed.
+    pub steps: usize,
+    /// Training batches that flowed through stage 3.
+    pub batches: usize,
+    /// Partitions read from disk by the prefetcher.
+    pub partition_loads: usize,
+    /// Stage-1 time spent reading the store and building subgraphs.
+    pub prefetch_busy: Duration,
+    /// Stage-1 time blocked on back-pressure or write-back dependencies.
+    pub prefetch_stall: Duration,
+    /// Stage-2 time spent constructing batches (shuffle/negatives/DENSE).
+    pub sample_busy: Duration,
+    /// Stage-2 time blocked on empty input or full output queues.
+    pub sample_stall: Duration,
+    /// Stage-3 time spent in buffer swaps, compute, and write-backs.
+    pub compute_busy: Duration,
+    /// Stage-3 time blocked waiting for upstream stages.
+    pub compute_stall: Duration,
+    /// Wall-clock duration of the epoch.
+    pub wall_time: Duration,
+}
+
+impl PipelineReport {
+    /// Ratio of summed per-stage busy time to wall time. Values near 1.0 mean
+    /// the stages effectively ran sequentially; values above 1.0 quantify how
+    /// much work the pipeline overlapped.
+    pub fn overlap_ratio(&self) -> f64 {
+        let busy = self.prefetch_busy + self.sample_busy + self.compute_busy;
+        if self.wall_time.is_zero() {
+            return 0.0;
+        }
+        busy.as_secs_f64() / self.wall_time.as_secs_f64()
+    }
+}
+
+/// Per-step load schedule derived from the plan and the buffer's residency at
+/// epoch start.
+struct StepIoPlan {
+    /// Partitions to read for each step (in set order).
+    loads: Vec<Vec<PartitionId>>,
+    /// For each step, the latest earlier step whose transition must complete
+    /// before the loads may be read (-1 when unconstrained).
+    read_after: Vec<i64>,
+}
+
+fn plan_step_io(plan: &EpochPlan, initial_resident: &[PartitionId]) -> StepIoPlan {
+    let mut resident: Vec<PartitionId> = initial_resident.to_vec();
+    let mut last_evicted: HashMap<PartitionId, i64> = HashMap::new();
+    let mut loads = Vec::with_capacity(plan.partition_sets.len());
+    let mut read_after = Vec::with_capacity(plan.partition_sets.len());
+    for (s, set) in plan.partition_sets.iter().enumerate() {
+        let step_loads: Vec<PartitionId> = set
+            .iter()
+            .copied()
+            .filter(|p| !resident.contains(p))
+            .collect();
+        let dep = step_loads
+            .iter()
+            .filter_map(|p| last_evicted.get(p).copied())
+            .max()
+            .unwrap_or(-1);
+        for p in &resident {
+            if !set.contains(p) {
+                last_evicted.insert(*p, s as i64);
+            }
+        }
+        resident = set.clone();
+        loads.push(step_loads);
+        read_after.push(dep);
+    }
+    StepIoPlan { loads, read_after }
+}
+
+/// The staged training runtime. See the crate docs for the stage diagram.
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs one training epoch over `plan`, overlapping partition prefetch,
+    /// batch construction, and compute.
+    ///
+    /// * `buffer` — the partition buffer; its store is read by the prefetcher
+    ///   and its resident set is swapped by the consumer as steps complete.
+    /// * `epoch_seed` — all in-epoch randomness derives from
+    ///   [`step_seed`]`(epoch_seed, step)`, making the epoch reproducible for
+    ///   any worker count.
+    /// * `make_batches` — stage-2 body: builds one step's training batches,
+    ///   handing each to the sink (which blocks under back-pressure). Runs on
+    ///   worker threads, once per step.
+    /// * `consume` — stage-3 body: applies one batch to the model. Runs on the
+    ///   calling thread, after the step's partitions are installed in
+    ///   `buffer`.
+    pub fn run_epoch<B, MB, CB>(
+        &self,
+        plan: &EpochPlan,
+        buffer: &mut PartitionBuffer,
+        epoch_seed: u64,
+        make_batches: MB,
+        mut consume: CB,
+    ) -> Result<PipelineReport>
+    where
+        B: Send,
+        MB: Fn(&StepContext, &mut StdRng, &mut dyn FnMut(B)) + Sync,
+        CB: FnMut(&mut PartitionBuffer, &StepContext, B),
+    {
+        let epoch_start = Instant::now();
+        let num_steps = plan.partition_sets.len();
+        let mut report = PipelineReport {
+            steps: num_steps,
+            ..PipelineReport::default()
+        };
+        if num_steps == 0 {
+            report.wall_time = epoch_start.elapsed();
+            return Ok(report);
+        }
+
+        let workers = self.config.num_sampling_workers.max(1);
+        let io_plan = plan_step_io(plan, &buffer.resident_partitions());
+        let store = buffer.store().clone();
+        let assignment = buffer.assignment().clone();
+
+        let step_queues: Vec<BoundedQueue<StepIn>> = (0..workers)
+            .map(|_| BoundedQueue::new(self.config.prefetch_depth))
+            .collect();
+        let batch_queues: Vec<BoundedQueue<StepOut<B>>> = (0..workers)
+            .map(|_| BoundedQueue::new(self.config.queue_depth))
+            .collect();
+        let parts_queue: BoundedQueue<Result<StepParts>> =
+            BoundedQueue::new(self.config.prefetch_depth.max(1));
+        let clock = TransitionClock::new();
+        let clocks = StageClocks::default();
+
+        let consumer_result: Result<()> = std::thread::scope(|scope| {
+            // ---- Stage 1a: the context prefetcher thread. ----------------
+            // Bucket files are immutable during the epoch, so step contexts
+            // (edges, subgraph, candidates) can be read arbitrarily far ahead
+            // of the consumer — this is what lets stage-2 workers start
+            // sampling future steps while earlier steps still compute.
+            {
+                let step_queues = &step_queues;
+                let batch_queues = &batch_queues;
+                let clock = &clock;
+                let clocks = &clocks;
+                let store = &store;
+                let assignment = &assignment;
+                scope.spawn(move || {
+                    for (s, set) in plan.partition_sets.iter().enumerate() {
+                        if clock.abort.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let busy_start = Instant::now();
+                        let step_in = (|| -> Result<StepIn> {
+                            // Read the buckets in the same set × set order
+                            // `load_set` uses so the subgraph (and therefore
+                            // sampling) is identical to the sequential path's.
+                            let mut edges: Vec<Edge> = Vec::new();
+                            for &i in set {
+                                for &j in set {
+                                    edges.extend_from_slice(&store.read_bucket(i, j)?);
+                                }
+                            }
+                            let subgraph = Arc::new(InMemorySubgraph::from_edges(&edges));
+                            let mut sorted_set = set.clone();
+                            sorted_set.sort_unstable();
+                            let mut candidates = Vec::new();
+                            for &p in &sorted_set {
+                                candidates.extend_from_slice(assignment.nodes_in(p));
+                            }
+                            Ok(StepIn {
+                                ctx: Arc::new(StepContext {
+                                    step: s,
+                                    set: set.clone(),
+                                    candidates,
+                                    subgraph,
+                                }),
+                                edges,
+                            })
+                        })();
+                        add_nanos(&clocks.prefetch_busy, busy_start.elapsed());
+                        match step_in {
+                            Ok(item) => match step_queues[s % workers].push(item) {
+                                Some(waited) => add_nanos(&clocks.prefetch_stall, waited),
+                                None => return, // closed: epoch aborted
+                            },
+                            Err(e) => {
+                                // Surface the error through the worker queue
+                                // that owns this step so the consumer sees it
+                                // in order, then stop prefetching.
+                                batch_queues[s % workers].push(StepOut::Err(e));
+                                return;
+                            }
+                        }
+                    }
+                    for q in step_queues.iter() {
+                        q.close();
+                    }
+                });
+            }
+
+            // ---- Stage 1b: the partition prefetcher thread. --------------
+            // Partition files are rewritten on eviction, so each read waits
+            // for the consumer's transition watermark to pass the partition's
+            // last eviction before it is issued (write-back ordering).
+            {
+                let parts_queue = &parts_queue;
+                let clock = &clock;
+                let clocks = &clocks;
+                let io_plan = &io_plan;
+                let store = &store;
+                scope.spawn(move || {
+                    for s in 0..plan.partition_sets.len() {
+                        if clock.abort.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let dep = io_plan.read_after[s];
+                        if dep >= 0 {
+                            add_nanos(&clocks.prefetch_stall, clock.wait_for(dep));
+                        }
+                        if clock.abort.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let busy_start = Instant::now();
+                        let parts = (|| -> Result<Vec<PartitionPayload>> {
+                            let mut new_parts = Vec::with_capacity(io_plan.loads[s].len());
+                            for &p in &io_plan.loads[s] {
+                                let (values, state) = store.read_partition(p)?;
+                                new_parts.push((p, values, state));
+                            }
+                            Ok(new_parts)
+                        })();
+                        add_nanos(&clocks.prefetch_busy, busy_start.elapsed());
+                        let failed = parts.is_err();
+                        match parts_queue.push(parts.map(|p| (s, p))) {
+                            Some(waited) => add_nanos(&clocks.prefetch_stall, waited),
+                            None => return,
+                        }
+                        if failed {
+                            return;
+                        }
+                    }
+                    parts_queue.close();
+                });
+            }
+
+            // ---- Stage 2: batch-construction workers. --------------------
+            for w in 0..workers {
+                let in_q = &step_queues[w];
+                let out_q = &batch_queues[w];
+                let clocks = &clocks;
+                let make_batches = &make_batches;
+                scope.spawn(move || {
+                    while let Some((step_in, waited)) = in_q.pop() {
+                        add_nanos(&clocks.sample_stall, waited);
+                        let StepIn { ctx, edges } = step_in;
+                        // Publish the step boundary immediately so the consumer
+                        // can swap the buffer while this worker still samples.
+                        match out_q.push(StepOut::Begin {
+                            ctx: Arc::clone(&ctx),
+                            edges,
+                        }) {
+                            Some(waited) => add_nanos(&clocks.sample_stall, waited),
+                            None => return,
+                        }
+                        let mut rng = StdRng::seed_from_u64(step_seed(epoch_seed, ctx.step as u64));
+                        let step_start = Instant::now();
+                        let mut sink_wait = Duration::ZERO;
+                        let mut closed = false;
+                        let mut sink = |batch: B| match out_q.push(StepOut::Batch(batch)) {
+                            Some(waited) => sink_wait += waited,
+                            None => closed = true,
+                        };
+                        make_batches(&ctx, &mut rng, &mut sink);
+                        let sink_wait = sink_wait;
+                        add_nanos(
+                            &clocks.sample_busy,
+                            step_start.elapsed().saturating_sub(sink_wait),
+                        );
+                        add_nanos(&clocks.sample_stall, sink_wait);
+                        if closed {
+                            return;
+                        }
+                        match out_q.push(StepOut::End) {
+                            Some(waited) => add_nanos(&clocks.sample_stall, waited),
+                            None => return,
+                        }
+                    }
+                    out_q.close();
+                });
+            }
+
+            // ---- Stage 3: the compute consumer (this thread). ------------
+            let mut run_consumer = || -> Result<()> {
+                for s in 0..num_steps {
+                    let q = &batch_queues[s % workers];
+                    let mut cur_ctx: Option<Arc<StepContext>> = None;
+                    loop {
+                        let Some((item, waited)) = q.pop() else {
+                            return Err(StorageError::InvalidPlan {
+                                reason: format!("pipeline stage 2 ended before step {s} completed"),
+                            });
+                        };
+                        report.compute_stall += waited;
+                        let busy_start = Instant::now();
+                        match item {
+                            StepOut::Begin { ctx, edges } => {
+                                let Some((parts, parts_wait)) = parts_queue.pop() else {
+                                    return Err(StorageError::InvalidPlan {
+                                        reason: format!("partition prefetch ended before step {s}"),
+                                    });
+                                };
+                                report.compute_stall += parts_wait;
+                                let (parts_step, new_parts) = parts?;
+                                debug_assert_eq!(parts_step, s, "partition payload out of order");
+                                report.partition_loads += new_parts.len();
+                                let install_start = Instant::now();
+                                buffer.install_set(
+                                    &ctx.set,
+                                    new_parts,
+                                    edges,
+                                    Arc::clone(&ctx.subgraph),
+                                )?;
+                                clock.publish(s as i64);
+                                cur_ctx = Some(ctx);
+                                report.compute_busy += install_start.elapsed();
+                            }
+                            StepOut::Batch(batch) => {
+                                let ctx =
+                                    cur_ctx.as_ref().ok_or_else(|| StorageError::InvalidPlan {
+                                        reason: format!("batch before Begin in step {s}"),
+                                    })?;
+                                report.batches += 1;
+                                consume(buffer, ctx, batch);
+                                report.compute_busy += busy_start.elapsed();
+                            }
+                            StepOut::End => {
+                                report.compute_busy += busy_start.elapsed();
+                                break;
+                            }
+                            StepOut::Err(e) => return Err(e),
+                        }
+                    }
+                }
+                Ok(())
+            };
+            let result = run_consumer();
+
+            // Shut everything down (idempotent) so the scope can join even on
+            // the error path, then surface the consumer's verdict.
+            clock.abort();
+            for q in step_queues.iter() {
+                q.close();
+            }
+            for q in batch_queues.iter() {
+                q.close();
+            }
+            parts_queue.close();
+            result
+        });
+
+        consumer_result?;
+        report.prefetch_busy = nanos(&clocks.prefetch_busy);
+        report.prefetch_stall = nanos(&clocks.prefetch_stall);
+        report.sample_busy = nanos(&clocks.sample_busy);
+        report.sample_stall = nanos(&clocks.sample_stall);
+        report.wall_time = epoch_start.elapsed();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marius_graph::{EdgeList, Partitioner};
+    use marius_storage::PartitionStore;
+    use rand::Rng;
+
+    fn build_buffer(label: &str, num_nodes: u64, p: u32, capacity: usize) -> PartitionBuffer {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut el = EdgeList::new(num_nodes);
+        for i in 0..num_nodes {
+            el.push(Edge::new(i, (i + 1) % num_nodes)).unwrap();
+            el.push(Edge::new(i, (i + 3) % num_nodes)).unwrap();
+        }
+        let partitioner = Partitioner::new(p).unwrap();
+        let assignment = partitioner.random(num_nodes, &mut rng);
+        let buckets = partitioner.build_buckets(&el, &assignment).unwrap();
+        let store = PartitionStore::open_temp(label).unwrap();
+        store.clear().unwrap();
+        let buffer = PartitionBuffer::new(store, assignment, 4, capacity, true);
+        buffer.initialize_random(0.1, &mut rng).unwrap();
+        buffer.initialize_buckets(&buckets).unwrap();
+        buffer
+    }
+
+    fn pair_plan(p: u32, capacity: usize, seed: u64) -> EpochPlan {
+        use marius_storage::policy::ReplacementPolicy;
+        let mut rng = StdRng::seed_from_u64(seed);
+        marius_storage::BetaPolicy::new(capacity)
+            .plan(p, &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn step_seed_is_stable_and_spread() {
+        assert_eq!(step_seed(7, 3), step_seed(7, 3));
+        assert_ne!(step_seed(7, 3), step_seed(7, 4));
+        assert_ne!(step_seed(7, 3), step_seed(8, 3));
+    }
+
+    #[test]
+    fn io_plan_tracks_loads_and_dependencies() {
+        let plan = EpochPlan {
+            partition_sets: vec![vec![0, 1], vec![1, 2], vec![0, 1]],
+            bucket_assignment: vec![vec![], vec![], vec![]],
+        };
+        let io = plan_step_io(&plan, &[]);
+        assert_eq!(io.loads, vec![vec![0, 1], vec![2], vec![0]]);
+        // Partition 0 is evicted at step 1 and re-read at step 2.
+        assert_eq!(io.read_after, vec![-1, -1, 1]);
+        // Initial residency suppresses the first loads.
+        let io = plan_step_io(&plan, &[0, 1]);
+        assert_eq!(io.loads[0], Vec::<PartitionId>::new());
+    }
+
+    #[test]
+    fn bounded_queue_blocks_and_closes() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(2));
+        std::thread::sleep(Duration::from_millis(20));
+        let (v, _) = q.pop().unwrap();
+        assert_eq!(v, 1);
+        assert!(producer.join().unwrap().is_some());
+        let (v, _) = q.pop().unwrap();
+        assert_eq!(v, 2);
+        q.close();
+        assert!(q.pop().is_none());
+        assert!(q.push(3).is_none());
+    }
+
+    #[test]
+    fn pipelined_epoch_visits_every_bucket_once() {
+        for workers in [1usize, 3] {
+            let mut buffer = build_buffer(&format!("pipe-visit-{workers}"), 60, 6, 3);
+            let plan = pair_plan(6, 3, 5);
+            let pipeline = Pipeline::new(PipelineConfig::with_workers(workers));
+            let seen = Mutex::new(Vec::<(usize, usize)>::new());
+            let report = pipeline
+                .run_epoch(
+                    &plan,
+                    &mut buffer,
+                    99,
+                    |ctx, rng, sink| {
+                        // One "batch" per assigned bucket, tagged with a random
+                        // draw so determinism is observable.
+                        for (k, _) in plan.bucket_assignment[ctx.step].iter().enumerate() {
+                            let _ = rng.gen::<u64>();
+                            sink((ctx.step, k));
+                        }
+                    },
+                    |buffer, ctx, (step, k)| {
+                        assert_eq!(buffer.resident_partitions(), {
+                            let mut s = ctx.set.clone();
+                            s.sort_unstable();
+                            s
+                        });
+                        seen.lock().unwrap().push((step, k));
+                    },
+                )
+                .unwrap();
+            let seen = seen.into_inner().unwrap();
+            let expected: Vec<(usize, usize)> = plan
+                .bucket_assignment
+                .iter()
+                .enumerate()
+                .flat_map(|(s, buckets)| (0..buckets.len()).map(move |k| (s, k)))
+                .collect();
+            assert_eq!(seen, expected, "workers={workers}");
+            assert_eq!(report.batches, expected.len());
+            assert_eq!(report.steps, plan.partition_sets.len());
+            assert_eq!(report.partition_loads, plan.partition_loads());
+            assert!(report.wall_time > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn pipelined_updates_survive_eviction_and_reload() {
+        // Apply an update to a node in every step's first partition; after the
+        // epoch plus flush, reading the store back must show every update.
+        let mut buffer = build_buffer("pipe-update", 40, 4, 2);
+        let plan = pair_plan(4, 2, 9);
+        let pipeline = Pipeline::new(PipelineConfig::with_workers(2));
+        let assignment = buffer.assignment().clone();
+        let mut touched: Vec<NodeId> = Vec::new();
+        pipeline
+            .run_epoch(
+                &plan,
+                &mut buffer,
+                17,
+                |ctx, _rng, sink| sink(ctx.set[0]),
+                |buffer, _ctx, partition: PartitionId| {
+                    let node = assignment.nodes_in(partition)[0];
+                    let grad = marius_tensor::Tensor::ones(1, 4);
+                    buffer.apply_update(&[node], &grad).unwrap();
+                    touched.push(node);
+                },
+            )
+            .unwrap();
+        buffer.flush().unwrap();
+        assert!(!touched.is_empty());
+        // A second pipelined pass observes the updated values via gather.
+        let store = buffer.store().clone();
+        for &node in &touched {
+            let (p, _) = (assignment.partition_of(node), 0);
+            let (values, state) = store.read_partition(p).unwrap();
+            assert_eq!(values.len(), state.len());
+            // Updated rows have non-zero Adagrad state.
+            let offset = assignment
+                .nodes_in(p)
+                .iter()
+                .position(|&n| n == node)
+                .unwrap();
+            assert!(state[offset * 4..(offset + 1) * 4].iter().all(|&s| s > 0.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let run = |workers: usize| -> Vec<u64> {
+            let mut buffer = build_buffer(&format!("pipe-det-{workers}"), 50, 5, 2);
+            let plan = pair_plan(5, 2, 21);
+            let pipeline = Pipeline::new(PipelineConfig::with_workers(workers));
+            let out = Mutex::new(Vec::new());
+            pipeline
+                .run_epoch(
+                    &plan,
+                    &mut buffer,
+                    4242,
+                    |ctx, rng, sink| {
+                        for _ in 0..3 {
+                            sink(((ctx.step as u64) << 32) | (rng.gen::<u64>() >> 32));
+                        }
+                    },
+                    |_buffer, _ctx, v| out.lock().unwrap().push(v),
+                )
+                .unwrap();
+            out.into_inner().unwrap()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one, four);
+        assert_eq!(one.len(), 3 * pair_plan(5, 2, 21).partition_sets.len());
+    }
+
+    #[test]
+    fn storage_error_surfaces_and_shuts_down() {
+        let mut buffer = build_buffer("pipe-error", 40, 4, 2);
+        let plan = pair_plan(4, 2, 3);
+        // Delete every partition file: the prefetcher's first read fails.
+        buffer.store().clear().unwrap();
+        let pipeline = Pipeline::new(PipelineConfig::with_workers(2));
+        let result = pipeline.run_epoch(
+            &plan,
+            &mut buffer,
+            1,
+            |_ctx, _rng, sink| sink(0u32),
+            |_buffer, _ctx, _v| {},
+        );
+        assert!(result.is_err());
+    }
+}

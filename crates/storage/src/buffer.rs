@@ -7,6 +7,21 @@
 //! rebuilds the dual-sorted in-memory subgraph used for neighbourhood sampling
 //! (paper §4.1). Embedding gathers and sparse Adagrad write-backs (Figure 2 steps
 //! 5–6) are served directly from the resident partitions.
+//!
+//! Two entry points swap the working set:
+//!
+//! * [`PartitionBuffer::load_set`] — the synchronous path: evicts, then reads
+//!   partitions and edge buckets from disk on the calling thread.
+//! * [`PartitionBuffer::install_set`] — the asynchronous path used by
+//!   `marius-pipeline`: the prefetcher thread has already read the partition
+//!   and bucket files, so the swap only evicts (writing back dirty
+//!   partitions) and moves the prefetched data into place, keeping disk reads
+//!   off the compute thread entirely.
+//!
+//! The buffer itself stays single-threaded (`&mut self` swaps and updates);
+//! cross-thread sharing happens through the [`PartitionStore`], which is
+//! `Send + Sync` (plain paths plus atomic IO counters), and through the
+//! immutable per-step payloads the pipeline passes between its stages.
 
 use crate::disk::PartitionStore;
 use crate::{Result, StorageError};
@@ -14,6 +29,7 @@ use marius_graph::{Edge, InMemorySubgraph, NodeId, PartitionAssignment, Partitio
 use marius_tensor::Tensor;
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A resident node partition: embedding rows and Adagrad state for its nodes, in
 /// the order given by `PartitionAssignment::nodes_in`.
@@ -41,9 +57,9 @@ pub struct PartitionBuffer {
     resident: HashMap<PartitionId, ResidentPartition>,
     /// Edges of the currently loaded buckets.
     in_memory_edges: Vec<Edge>,
-    subgraph: InMemorySubgraph,
-    /// Buckets (i, j) currently loaded.
-    loaded_buckets: HashSet<(PartitionId, PartitionId)>,
+    /// Shared so epoch executors can snapshot it without deep-copying the
+    /// CSR structures (the pipelined path hands pre-built subgraphs in).
+    subgraph: Arc<InMemorySubgraph>,
 }
 
 impl PartitionBuffer {
@@ -71,8 +87,7 @@ impl PartitionBuffer {
             node_location,
             resident: HashMap::new(),
             in_memory_edges: Vec::new(),
-            subgraph: InMemorySubgraph::from_edges(&[]),
-            loaded_buckets: HashSet::new(),
+            subgraph: Arc::new(InMemorySubgraph::from_edges(&[])),
         }
     }
 
@@ -155,27 +170,7 @@ impl PartitionBuffer {
     ///
     /// Returns the number of partitions read from disk.
     pub fn load_set(&mut self, set: &[PartitionId]) -> Result<usize> {
-        if set.len() > self.capacity {
-            return Err(StorageError::InvalidPlan {
-                reason: format!(
-                    "set of {} partitions exceeds buffer capacity {}",
-                    set.len(),
-                    self.capacity
-                ),
-            });
-        }
-        let wanted: HashSet<PartitionId> = set.iter().copied().collect();
-
-        // Evict partitions that are no longer wanted.
-        let to_evict: Vec<PartitionId> = self
-            .resident
-            .keys()
-            .copied()
-            .filter(|p| !wanted.contains(p))
-            .collect();
-        for p in to_evict {
-            self.evict(p)?;
-        }
+        self.begin_swap(set)?;
 
         // Load the missing partitions.
         let mut loads = 0usize;
@@ -194,22 +189,102 @@ impl PartitionBuffer {
             }
         }
 
-        // (Re)load every bucket between resident partitions. Buckets already in
-        // memory whose partitions both remain resident are kept.
-        self.loaded_buckets
-            .retain(|(i, j)| wanted.contains(i) && wanted.contains(j));
+        // (Re)load every bucket between resident partitions.
         self.in_memory_edges.clear();
         let mut edges: Vec<Edge> = Vec::new();
         for &i in set {
             for &j in set {
                 let bucket_edges = self.store.read_bucket(i, j)?;
                 edges.extend_from_slice(&bucket_edges);
-                self.loaded_buckets.insert((i, j));
             }
         }
         self.in_memory_edges = edges;
-        self.subgraph = InMemorySubgraph::from_edges(&self.in_memory_edges);
+        self.subgraph = Arc::new(InMemorySubgraph::from_edges(&self.in_memory_edges));
         Ok(loads)
+    }
+
+    /// Installs a partition set whose data was already read from disk (by the
+    /// `marius-pipeline` prefetcher): evicts resident partitions not in `set`
+    /// (writing dirty ones back), moves `new_parts` into residency, and adopts
+    /// the prefetched edge set and sampling subgraph without touching the
+    /// store's read path.
+    ///
+    /// `new_parts` must contain exactly the partitions of `set` that are not
+    /// currently resident; `edges`/`subgraph` must describe the buckets
+    /// between the partitions of `set` (in the same `set × set` order
+    /// [`PartitionBuffer::load_set`] reads them). Returns the number of
+    /// partitions installed.
+    pub fn install_set(
+        &mut self,
+        set: &[PartitionId],
+        new_parts: Vec<(PartitionId, Vec<f32>, Vec<f32>)>,
+        edges: Vec<Edge>,
+        subgraph: Arc<InMemorySubgraph>,
+    ) -> Result<usize> {
+        let wanted = self.begin_swap(set)?;
+        let installs = new_parts.len();
+        for (p, values, state) in new_parts {
+            if !wanted.contains(&p) {
+                return Err(StorageError::InvalidPlan {
+                    reason: format!("prefetched partition {p} is not part of the installed set"),
+                });
+            }
+            if self.resident.contains_key(&p) {
+                // Overwriting a resident (possibly dirty) copy with stale disk
+                // data would silently lose training updates.
+                return Err(StorageError::InvalidPlan {
+                    reason: format!(
+                        "prefetched partition {p} is already resident; install_set takes only the missing partitions of the set"
+                    ),
+                });
+            }
+            self.resident.insert(
+                p,
+                ResidentPartition {
+                    values,
+                    state,
+                    dirty: false,
+                },
+            );
+        }
+        for &p in set {
+            if !self.resident.contains_key(&p) {
+                return Err(StorageError::NotResident {
+                    reason: format!(
+                        "partition {p} of the installed set was neither resident nor prefetched"
+                    ),
+                });
+            }
+        }
+        self.in_memory_edges = edges;
+        self.subgraph = subgraph;
+        Ok(installs)
+    }
+
+    /// Shared prologue of the two swap paths: validates the set against the
+    /// buffer capacity and evicts (writing back) resident partitions outside
+    /// it. Returns the wanted-set lookup.
+    fn begin_swap(&mut self, set: &[PartitionId]) -> Result<HashSet<PartitionId>> {
+        if set.len() > self.capacity {
+            return Err(StorageError::InvalidPlan {
+                reason: format!(
+                    "set of {} partitions exceeds buffer capacity {}",
+                    set.len(),
+                    self.capacity
+                ),
+            });
+        }
+        let wanted: HashSet<PartitionId> = set.iter().copied().collect();
+        let to_evict: Vec<PartitionId> = self
+            .resident
+            .keys()
+            .copied()
+            .filter(|p| !wanted.contains(p))
+            .collect();
+        for p in to_evict {
+            self.evict(p)?;
+        }
+        Ok(wanted)
     }
 
     fn evict(&mut self, partition: PartitionId) -> Result<()> {
@@ -244,10 +319,13 @@ impl PartitionBuffer {
     }
 
     /// All node ids whose partitions are currently resident (candidates for
-    /// negative sampling and target selection).
+    /// negative sampling and target selection). Partitions are visited in
+    /// ascending id order so the candidate list — and therefore negative
+    /// sampling under a fixed seed — is deterministic and identical between
+    /// the sequential and pipelined training paths.
     pub fn resident_nodes(&self) -> Vec<NodeId> {
         let mut nodes = Vec::new();
-        for &p in self.resident.keys() {
+        for p in self.resident_partitions() {
             nodes.extend_from_slice(self.assignment.nodes_in(p));
         }
         nodes
@@ -262,6 +340,13 @@ impl PartitionBuffer {
     /// The dual-sorted in-memory subgraph over the loaded edge buckets.
     pub fn subgraph(&self) -> &InMemorySubgraph {
         &self.subgraph
+    }
+
+    /// A shared handle to the same subgraph: epoch executors snapshot this
+    /// (one `Arc` bump) instead of deep-copying the CSR structures before a
+    /// mini batch borrows the buffer mutably.
+    pub fn subgraph_arc(&self) -> Arc<InMemorySubgraph> {
+        Arc::clone(&self.subgraph)
     }
 
     /// Number of edges currently in memory.
@@ -459,6 +544,79 @@ mod tests {
         let stats = buffer.store().io_stats();
         assert!(stats.reads >= 2);
         assert!(stats.bytes_read > 0);
+    }
+
+    #[test]
+    fn install_set_matches_load_set() {
+        // Drive one buffer through load_set and a twin through install_set
+        // with prefetched data; both must end up in identical states.
+        let (mut seq, _) = build_buffer("install-seq", 40, 4, 2, true);
+        let (mut pipe, _) = build_buffer("install-pipe", 40, 4, 2, true);
+        // Same disk contents: copy the sequential store's files over.
+        for p in 0..4u32 {
+            let (v, s) = seq.store().read_partition(p).unwrap();
+            pipe.store().write_partition(p, &v, &s).unwrap();
+            for q in 0..4u32 {
+                let edges = seq.store().read_bucket(p, q).unwrap();
+                pipe.store().write_bucket(p, q, &edges).unwrap();
+            }
+        }
+        for set in [vec![0u32, 1], vec![1, 2], vec![0, 3]] {
+            seq.load_set(&set).unwrap();
+            // Prefetch what install_set expects: missing partitions + edges.
+            let mut new_parts = Vec::new();
+            for &p in &set {
+                if !pipe.resident_partitions().contains(&p) {
+                    let (v, s) = pipe.store().read_partition(p).unwrap();
+                    new_parts.push((p, v, s));
+                }
+            }
+            let mut edges = Vec::new();
+            for &i in &set {
+                for &j in &set {
+                    edges.extend_from_slice(&pipe.store().read_bucket(i, j).unwrap());
+                }
+            }
+            let subgraph = Arc::new(InMemorySubgraph::from_edges(&edges));
+            let installed = pipe.install_set(&set, new_parts, edges, subgraph).unwrap();
+            assert!(installed <= set.len());
+            assert_eq!(seq.resident_partitions(), pipe.resident_partitions());
+            assert_eq!(seq.resident_nodes(), pipe.resident_nodes());
+            assert_eq!(seq.num_in_memory_edges(), pipe.num_in_memory_edges());
+            let nodes = seq.resident_nodes();
+            assert_eq!(
+                seq.gather(&nodes[..4]).unwrap(),
+                pipe.gather(&nodes[..4]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn install_set_rejects_missing_or_foreign_partitions() {
+        let (mut buffer, _) = build_buffer("install-invalid", 40, 4, 2, true);
+        // Partition 1 neither resident nor prefetched.
+        let (v, s) = buffer.store().read_partition(0).unwrap();
+        let err = buffer.install_set(
+            &[0, 1],
+            vec![(0, v.clone(), s.clone())],
+            Vec::new(),
+            Arc::new(InMemorySubgraph::from_edges(&[])),
+        );
+        assert!(err.is_err());
+        // Prefetched partition outside the set.
+        let err = buffer.install_set(
+            &[0],
+            vec![(0, v.clone(), s.clone()), (3, v, s)],
+            Vec::new(),
+            Arc::new(InMemorySubgraph::from_edges(&[])),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn store_is_send_and_sync_for_the_prefetcher() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::PartitionStore>();
     }
 
     #[test]

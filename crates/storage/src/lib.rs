@@ -20,7 +20,23 @@
 //!   `l` and buffer capacity `c`.
 //! * [`io_model::IoCostModel`] — a bandwidth/IOPS/block-size model of the
 //!   paper's EBS volume used by the benchmark harnesses to translate measured IO
-//!   volume into epoch-time analogues.
+//!   volume into epoch-time analogues, and by
+//!   [`disk::PartitionStore::with_emulated_device`] to slow the store down to a
+//!   real device's speed for overlap experiments.
+//!
+//! # The asynchronous (pipelined) path
+//!
+//! The storage layer is consumed from two execution modes. The sequential
+//! trainers call [`buffer::PartitionBuffer::load_set`], which performs every
+//! disk read inline. The staged runtime in `marius-pipeline` instead reads
+//! partition and bucket files on dedicated prefetcher threads — the
+//! [`disk::PartitionStore`] is `Send + Sync` (plain paths plus atomic IO
+//! counters), so any number of threads may read concurrently — and hands the
+//! already-deserialized data to the compute thread, which swaps it into the
+//! buffer with [`buffer::PartitionBuffer::install_set`] without touching the
+//! store's read path. Write-backs of dirty partitions stay on the compute
+//! thread (they must precede any re-read of the same partition; the pipeline
+//! sequences that with a transition watermark).
 
 pub mod buffer;
 pub mod disk;

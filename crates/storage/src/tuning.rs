@@ -85,6 +85,7 @@ pub struct TuningConfig {
 /// * `l = 2p / c` — exactly two logical partitions resident at a time, the
 ///   minimum the swap scheme needs, because fewer logical partitions mean lower
 ///   bias and fewer partition sets.
+#[allow(clippy::too_many_arguments)]
 pub fn auto_tune(
     num_nodes: u64,
     feat_dim: usize,

@@ -16,8 +16,8 @@ fn main() {
         AwsInstance::P3_16xLarge,
     ];
     println!(
-        "{:<16} {:<12} | {:>6} {:>6} {:>6} | {}",
-        "dataset", "instance", "p", "l", "c", "mode"
+        "{:<16} {:<12} | {:>6} {:>6} {:>6} | mode",
+        "dataset", "instance", "p", "l", "c"
     );
     for spec in DatasetSpec::table1() {
         for instance in instances {

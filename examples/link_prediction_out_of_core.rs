@@ -35,11 +35,15 @@ fn main() {
     let capacity = 4usize;
 
     println!("== Disk-based, COMET policy ==");
-    let comet = trainer.train_disk(&data, &DiskConfig::comet(partitions, capacity));
+    let comet = trainer
+        .train_disk(&data, &DiskConfig::comet(partitions, capacity))
+        .expect("disk training");
     println!("{}", comet.to_table());
 
     println!("== Disk-based, BETA policy (prior state of the art) ==");
-    let beta = trainer.train_disk(&data, &DiskConfig::beta(partitions, capacity));
+    let beta = trainer
+        .train_disk(&data, &DiskConfig::beta(partitions, capacity))
+        .expect("disk training");
     println!("{}", beta.to_table());
 
     println!("\nSummary (MRR):");

@@ -35,7 +35,9 @@ fn main() {
     println!("{}", mem.to_table());
 
     println!("== Disk-based training with training-node caching (M-GNN_Disk) ==");
-    let disk = trainer.train_disk(&data, &DiskConfig::node_cache(8, 6));
+    let disk = trainer
+        .train_disk(&data, &DiskConfig::node_cache(8, 6))
+        .expect("disk training");
     println!("{}", disk.to_table());
 
     println!(

@@ -38,7 +38,9 @@ fn disk_based_comet_training_approaches_in_memory_quality() {
     let data = dataset();
     let t = trainer(3);
     let mem = t.train_in_memory(&data);
-    let comet = t.train_disk(&data, &DiskConfig::comet(8, 4));
+    let comet = t
+        .train_disk(&data, &DiskConfig::comet(8, 4))
+        .expect("disk training");
     assert!(
         comet.final_metric() > 0.1,
         "COMET MRR {}",
@@ -66,8 +68,12 @@ fn decoder_only_distmult_trains_out_of_core_with_both_policies() {
     train.batch_size = 256;
     train.num_negatives = 64;
     let t = LinkPredictionTrainer::new(model, train);
-    let comet = t.train_disk(&data, &DiskConfig::comet(8, 4));
-    let beta = t.train_disk(&data, &DiskConfig::beta(8, 4));
+    let comet = t
+        .train_disk(&data, &DiskConfig::comet(8, 4))
+        .expect("disk training");
+    let beta = t
+        .train_disk(&data, &DiskConfig::beta(8, 4))
+        .expect("disk training");
     assert!(comet.final_metric() > 0.05);
     assert!(beta.final_metric() > 0.05);
     // Both must have iterated over every training example each epoch.
@@ -79,7 +85,9 @@ fn decoder_only_distmult_trains_out_of_core_with_both_policies() {
 #[test]
 fn epoch_reports_contain_consistent_bookkeeping() {
     let data = dataset();
-    let report = trainer(2).train_disk(&data, &DiskConfig::comet(8, 4));
+    let report = trainer(2)
+        .train_disk(&data, &DiskConfig::comet(8, 4))
+        .expect("disk training");
     for epoch in &report.epochs {
         assert!(epoch.epoch_time >= epoch.sample_time);
         assert!(epoch.nodes_sampled > 0);

@@ -36,7 +36,9 @@ fn disk_based_node_classification_matches_in_memory_closely() {
     let data = dataset();
     let t = trainer(3);
     let mem = t.train_in_memory(&data);
-    let disk = t.train_disk(&data, &DiskConfig::node_cache(8, 6));
+    let disk = t
+        .train_disk(&data, &DiskConfig::node_cache(8, 6))
+        .expect("disk training");
     // The paper finds the caching policy loses at most a fraction of a percent
     // of accuracy; at this scale allow a modest relative gap.
     assert!(
@@ -55,7 +57,9 @@ fn disk_based_node_classification_matches_in_memory_closely() {
 fn node_cache_policy_performs_io_only_between_epochs() {
     let data = dataset();
     let t = trainer(2);
-    let disk = t.train_disk(&data, &DiskConfig::node_cache(8, 6));
+    let disk = t
+        .train_disk(&data, &DiskConfig::node_cache(8, 6))
+        .expect("disk training");
     // Every epoch reads the (re-randomised) buffer contents once; writes are
     // unnecessary because features are fixed.
     for e in &disk.epochs {

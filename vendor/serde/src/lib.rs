@@ -1,0 +1,14 @@
+//! Offline shim for the `serde` facade.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros from the
+//! vendored `serde_derive` so `#[derive(Serialize, Deserialize)]` compiles.
+//! The trait definitions exist purely as markers; no serialization framework
+//! is provided (the build environment cannot fetch the real crate).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in this shim).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in this shim).
+pub trait DeserializeMarker {}

@@ -1,0 +1,20 @@
+//! Offline no-op derive macros for the vendored `serde` shim.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as markers on
+//! config structs; nothing serializes at runtime, so the derives expand to
+//! nothing. If real serialization is ever needed, replace the `vendor/serde*`
+//! crates with the upstream ones.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
