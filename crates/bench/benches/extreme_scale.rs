@@ -9,8 +9,8 @@
 //! ($564/epoch at 194k edges/sec).
 
 use marius_baselines::{AwsInstance, CostModel};
-use marius_bench::header;
-use marius_core::{DiskConfig, LinkPredictionTrainer, ModelConfig, TrainConfig};
+use marius_bench::{header, write_bench_json};
+use marius_core::{DiskConfig, LinkPredictionTask, ModelConfig, TrainConfig, Trainer};
 use marius_graph::datasets::{DatasetSpec, ScaledDataset};
 use std::time::Duration;
 
@@ -31,7 +31,7 @@ fn main() {
     train.batch_size = 1000;
     train.num_negatives = 100;
     train.eval_negatives = 100;
-    let trainer = LinkPredictionTrainer::new(model, train);
+    let trainer: Trainer<LinkPredictionTask> = Trainer::new(model, train);
 
     let report = trainer
         .train_disk(&data, &DiskConfig::comet(8, 4))
@@ -54,6 +54,7 @@ fn main() {
         full_epoch.as_secs_f64() / 3600.0,
         cost
     );
+    write_bench_json("extreme_scale", &[("hyperlink2012/disk-comet", &report)]);
     println!(
         "\nPaper reference (§7.3): 194k edges/sec sustained on one GPU + 60 GB RAM + SSD,\n\
          $564 per epoch over the full 128B-edge hyperlink graph. (A CPU-only reproduction\n\

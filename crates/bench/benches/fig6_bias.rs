@@ -6,8 +6,8 @@
 //!     subgraphs (partition sets) and normalised total IO;
 //! (c) the effect of the number of physical partitions on bias.
 
-use marius_bench::header;
-use marius_core::{DiskConfig, LinkPredictionTrainer, ModelConfig, TrainConfig};
+use marius_bench::{header, write_bench_json};
+use marius_core::{DiskConfig, LinkPredictionTask, ModelConfig, TrainConfig, Trainer};
 use marius_graph::datasets::{DatasetSpec, ScaledDataset};
 use marius_graph::Partitioner;
 use marius_storage::policy::ReplacementPolicy;
@@ -74,7 +74,7 @@ fn main() {
     train.batch_size = 512;
     train.num_negatives = 64;
     train.eval_negatives = 128;
-    let trainer = LinkPredictionTrainer::new(model, train);
+    let trainer: Trainer<LinkPredictionTask> = Trainer::new(model, train);
 
     let configs: Vec<(&str, DiskConfig)> = vec![
         ("COMET p=16 c=8", DiskConfig::comet(16, 8)),
@@ -82,6 +82,7 @@ fn main() {
         ("BETA  p=16 c=4", DiskConfig::beta(16, 4)),
     ];
     println!("{:<16} {:>8} {:>8}", "config", "bias", "MRR");
+    let mut json_reports: Vec<(String, marius_core::ExperimentReport)> = Vec::new();
     for (name, disk) in configs {
         let partitioner = Partitioner::new(disk.num_partitions).unwrap();
         let assignment = partitioner.random(data.num_nodes(), &mut rng);
@@ -97,7 +98,11 @@ fn main() {
         let bias = edge_permutation_bias(&plan, &buckets, data.num_nodes());
         let report = trainer.train_disk(&data, &disk).expect("disk training");
         println!("{:<16} {:>8.3} {:>8.4}", name, bias, report.final_metric());
+        json_reports.push((name.to_string(), report));
     }
+    let labeled: Vec<(&str, &marius_core::ExperimentReport)> =
+        json_reports.iter().map(|(l, r)| (l.as_str(), r)).collect();
+    write_bench_json("fig6_bias", &labeled);
     println!(
         "\nPaper reference (Figure 6): MRR decreases as bias increases; bias falls with\n\
          more physical partitions (O(p^-a)) and with fewer logical partitions (O(l^a)),\n\

@@ -9,11 +9,13 @@
 //! paper finds the systems converge to the same accuracy).
 
 use marius_baselines::scaling::BaselineSystem;
-use marius_bench::{baseline_epoch_time, header, measure_baseline_batch, minutes};
+use marius_bench::{
+    baseline_epoch_time, header, measure_baseline_batch, minutes, write_bench_json,
+};
 use marius_core::models::build_encoder;
 use marius_core::report::ExperimentReport;
 use marius_core::{
-    DiskConfig, LinkPredictionTrainer, ModelConfig, NodeClassificationTrainer, TrainConfig,
+    DiskConfig, LinkPredictionTask, ModelConfig, NodeClassificationTask, TrainConfig, Trainer,
 };
 use marius_graph::datasets::{DatasetSpec, ScaledDataset};
 use marius_graph::InMemorySubgraph;
@@ -43,8 +45,8 @@ fn main() {
     model.fanouts = vec![10, 10];
     let mut train = TrainConfig::quick(4, 71);
     train.batch_size = 256;
-    let trainer = NodeClassificationTrainer::new(model.clone(), train);
-    let mem = trainer.train_in_memory(&data);
+    let trainer: Trainer<NodeClassificationTask> = Trainer::new(model.clone(), train);
+    let mem = trainer.train_in_memory(&data).expect("in-memory training");
     let disk = trainer
         .train_disk(&data, &DiskConfig::node_cache(8, 6))
         .expect("disk training");
@@ -61,6 +63,8 @@ fn main() {
     print_series("M-GNN_Disk 1 GPU", &disk, None);
     print_series("DGL 4 GPUs", &mem, Some(dgl));
     print_series("PyG 4 GPUs", &mem, Some(pyg));
+    let nc_mem = mem;
+    let nc_disk = disk;
 
     // Right panel: link prediction on a Freebase86M-shaped graph.
     println!("\n[right] link prediction (Freebase86M-scaled, MRR)");
@@ -71,8 +75,8 @@ fn main() {
     train.batch_size = 512;
     train.num_negatives = 100;
     train.eval_negatives = 200;
-    let trainer = LinkPredictionTrainer::new(model.clone(), train);
-    let mem = trainer.train_in_memory(&data);
+    let trainer: Trainer<LinkPredictionTask> = Trainer::new(model.clone(), train);
+    let mem = trainer.train_in_memory(&data).expect("in-memory training");
     let disk = trainer
         .train_disk(&data, &DiskConfig::comet(8, 4))
         .expect("disk training");
@@ -89,6 +93,16 @@ fn main() {
     print_series("M-GNN_Disk 1 GPU", &disk, None);
     print_series("DGL 1 GPU", &mem, Some(dgl));
     print_series("PyG 1 GPU", &mem, Some(pyg));
+
+    write_bench_json(
+        "fig7_time_to_accuracy",
+        &[
+            ("node-classification/mem", &nc_mem),
+            ("node-classification/disk", &nc_disk),
+            ("link-prediction/mem", &mem),
+            ("link-prediction/disk", &disk),
+        ],
+    );
 
     println!(
         "\nPaper reference (Figure 7): MariusGNN reaches the baselines' final accuracy\n\

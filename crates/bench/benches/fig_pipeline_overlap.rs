@@ -4,15 +4,16 @@
 //! pipelined path overlaps the three stages and should land near their max —
 //! the target for this harness is pipelined < 0.9× sequential wall time.
 
-use marius_bench::{header, seconds};
+use marius_bench::{header, seconds, write_bench_json};
 use marius_core::{
-    DiskConfig, ExperimentReport, LinkPredictionTrainer, ModelConfig, PipelineConfig, TrainConfig,
+    DiskConfig, ExperimentReport, LinkPredictionTask, ModelConfig, PipelineConfig, TrainConfig,
+    Trainer,
 };
 use marius_graph::datasets::{DatasetSpec, ScaledDataset};
 use marius_storage::IoCostModel;
 use std::time::Duration;
 
-fn trainer() -> LinkPredictionTrainer {
+fn trainer() -> Trainer<LinkPredictionTask> {
     // Two GraphSage layers so CPU-side DENSE sampling carries real weight, as
     // it does for the paper's node-classification configurations.
     let mut model = ModelConfig::paper_link_prediction_graphsage(8).shrunk(8, 8);
@@ -24,7 +25,7 @@ fn trainer() -> LinkPredictionTrainer {
     train.eval_negatives = 64;
     // Measure against the paper's EBS-like volume (emulated), not the local
     // page cache: the pipeline's job is to hide device latency.
-    LinkPredictionTrainer::new(model, train).with_emulated_device(IoCostModel::ebs_gp3())
+    Trainer::new(model, train).with_emulated_device(IoCostModel::ebs_gp3())
 }
 
 fn total_train_time(report: &ExperimentReport) -> Duration {
@@ -90,6 +91,10 @@ fn main() {
             .iter()
             .zip(&pipelined.epochs)
             .all(|(a, b)| a.loss == b.loss)
+    );
+    write_bench_json(
+        "fig_pipeline_overlap",
+        &[("sequential", &sequential), ("pipelined", &pipelined)],
     );
     if ratio < 0.9 {
         println!(

@@ -12,9 +12,11 @@
 
 use marius_baselines::scaling::BaselineSystem;
 use marius_baselines::{AwsInstance, CostModel};
-use marius_bench::{baseline_epoch_time, header, measure_baseline_batch, minutes};
+use marius_bench::{
+    baseline_epoch_time, header, measure_baseline_batch, minutes, write_bench_json,
+};
 use marius_core::models::build_encoder;
-use marius_core::{DiskConfig, ModelConfig, NodeClassificationTrainer, TrainConfig};
+use marius_core::{DiskConfig, ModelConfig, NodeClassificationTask, TrainConfig, Trainer};
 use marius_graph::datasets::{DatasetSpec, ScaledDataset};
 use marius_graph::InMemorySubgraph;
 
@@ -50,6 +52,7 @@ fn main() {
         },
     ];
 
+    let mut json_reports: Vec<(String, marius_core::ExperimentReport)> = Vec::new();
     for row in rows {
         let data = ScaledDataset::generate(&row.spec, 33);
         println!(
@@ -65,9 +68,9 @@ fn main() {
         model.fanouts = vec![10, 10, 5];
         let mut train = TrainConfig::quick(3, 33);
         train.batch_size = 256;
-        let trainer = NodeClassificationTrainer::new(model.clone(), train);
+        let trainer: Trainer<NodeClassificationTask> = Trainer::new(model.clone(), train);
 
-        let mem = trainer.train_in_memory(&data);
+        let mem = trainer.train_in_memory(&data).expect("in-memory training");
         let disk = trainer
             .train_disk(&data, &DiskConfig::node_cache(8, 6))
             .expect("disk training");
@@ -138,7 +141,12 @@ fn main() {
             print!(" DGL({}, {:.3})", minutes(elapsed), e.metric);
         }
         println!();
+        json_reports.push((format!("{}/mem", row.label), mem));
+        json_reports.push((format!("{}/disk-node-cache", row.label), disk));
     }
+    let labeled: Vec<(&str, &marius_core::ExperimentReport)> =
+        json_reports.iter().map(|(l, r)| (l.as_str(), r)).collect();
+    write_bench_json("table3_node_classification", &labeled);
     println!(
         "\nPaper reference (Table 3): M-GNN_Mem 3-4x faster than multi-GPU DGL, 8-11x\n\
          faster than PyG, all within 1% accuracy; M-GNN_Disk 16-64x cheaper per epoch."

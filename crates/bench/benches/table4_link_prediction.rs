@@ -8,9 +8,11 @@
 
 use marius_baselines::scaling::BaselineSystem;
 use marius_baselines::{AwsInstance, CostModel};
-use marius_bench::{baseline_epoch_time, header, measure_baseline_batch, minutes};
+use marius_bench::{
+    baseline_epoch_time, header, measure_baseline_batch, minutes, write_bench_json,
+};
 use marius_core::models::build_encoder;
-use marius_core::{DiskConfig, LinkPredictionTrainer, ModelConfig, TrainConfig};
+use marius_core::{DiskConfig, LinkPredictionTask, ModelConfig, TrainConfig, Trainer};
 use marius_graph::datasets::{DatasetSpec, ScaledDataset};
 use marius_graph::InMemorySubgraph;
 
@@ -27,6 +29,7 @@ fn main() {
         ),
     ];
 
+    let mut json_reports: Vec<(String, marius_core::ExperimentReport)> = Vec::new();
     for (label, spec) in datasets {
         let data = ScaledDataset::generate(&spec, 44);
         println!(
@@ -42,9 +45,9 @@ fn main() {
         train.batch_size = 512;
         train.num_negatives = 100;
         train.eval_negatives = 200;
-        let trainer = LinkPredictionTrainer::new(model.clone(), train.clone());
+        let trainer: Trainer<LinkPredictionTask> = Trainer::new(model.clone(), train.clone());
 
-        let mem = trainer.train_in_memory(&data);
+        let mem = trainer.train_in_memory(&data).expect("in-memory training");
         let disk = trainer
             .train_disk(&data, &DiskConfig::comet(8, 4))
             .expect("disk training");
@@ -53,8 +56,9 @@ fn main() {
         // run with that handicap to obtain its MRR.
         let mut dgl_train = train.clone();
         dgl_train.num_negatives = train.num_negatives / 5;
-        let dgl_quality =
-            LinkPredictionTrainer::new(model.clone(), dgl_train).train_in_memory(&data);
+        let dgl_quality = Trainer::<LinkPredictionTask>::new(model.clone(), dgl_train)
+            .train_in_memory(&data)
+            .expect("in-memory training");
 
         // Baseline epoch time from the layer-wise pipeline cost (single GPU).
         let subgraph = InMemorySubgraph::from_edges(&data.train_edges);
@@ -121,7 +125,14 @@ fn main() {
             print!(" DGL({}, {:.3})", minutes(elapsed), e.metric);
         }
         println!();
+
+        json_reports.push((format!("{label}/mem"), mem));
+        json_reports.push((format!("{label}/disk-comet"), disk));
+        json_reports.push((format!("{label}/dgl-quality"), dgl_quality));
     }
+    let labeled: Vec<(&str, &marius_core::ExperimentReport)> =
+        json_reports.iter().map(|(l, r)| (l.as_str(), r)).collect();
+    write_bench_json("table4_link_prediction", &labeled);
     println!(
         "\nPaper reference (Table 4): M-GNN_Mem 6-7x faster than the best baseline with\n\
          comparable MRR (DGL lower due to fewer negatives); disk-based COMET training is\n\

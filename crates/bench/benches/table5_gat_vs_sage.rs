@@ -5,9 +5,11 @@
 
 use marius_baselines::scaling::BaselineSystem;
 use marius_baselines::{AwsInstance, CostModel};
-use marius_bench::{baseline_epoch_time, header, measure_baseline_batch, minutes};
+use marius_bench::{
+    baseline_epoch_time, header, measure_baseline_batch, minutes, write_bench_json,
+};
 use marius_core::models::build_encoder;
-use marius_core::{DiskConfig, EncoderKind, LinkPredictionTrainer, ModelConfig, TrainConfig};
+use marius_core::{DiskConfig, EncoderKind, LinkPredictionTask, ModelConfig, TrainConfig, Trainer};
 use marius_graph::datasets::{DatasetSpec, ScaledDataset};
 use marius_graph::InMemorySubgraph;
 
@@ -32,6 +34,7 @@ fn main() {
         "system / model", "epoch (min)", "MRR", "$/epoch"
     );
     let mut marius_times = Vec::new();
+    let mut json_reports: Vec<(String, marius_core::ExperimentReport)> = Vec::new();
     for (name, kind) in [
         ("GraphSage", EncoderKind::GraphSage),
         ("GAT", EncoderKind::Gat),
@@ -40,8 +43,8 @@ fn main() {
             EncoderKind::Gat => ModelConfig::paper_link_prediction_gat(32).shrunk(10, 32),
             _ => ModelConfig::paper_link_prediction_graphsage(32).shrunk(10, 32),
         };
-        let trainer = LinkPredictionTrainer::new(model.clone(), train.clone());
-        let mem = trainer.train_in_memory(&data);
+        let trainer: Trainer<LinkPredictionTask> = Trainer::new(model.clone(), train.clone());
+        let mem = trainer.train_in_memory(&data).expect("in-memory training");
         let disk = trainer
             .train_disk(&data, &DiskConfig::comet(8, 4))
             .expect("disk training");
@@ -77,7 +80,12 @@ fn main() {
             "~",
             CostModel::cost_per_epoch(AwsInstance::P3_8xLarge, dgl)
         );
+        json_reports.push((format!("{name}/mem"), mem));
+        json_reports.push((format!("{name}/disk-comet"), disk));
     }
+    let labeled: Vec<(&str, &marius_core::ExperimentReport)> =
+        json_reports.iter().map(|(l, r)| (l.as_str(), r)).collect();
+    write_bench_json("table5_gat_vs_sage", &labeled);
     println!(
         "\nGAT/GraphSage epoch-time ratio in MariusGNN: {:.2}x (paper: ~3x in memory);\n\
          the baseline's ratio stays near 1x because it is sampling-bound (paper Table 5).",

@@ -3,8 +3,8 @@
 //! quality reference. A buffer holding one quarter of the partitions is used, as
 //! in the paper.
 
-use marius_bench::{header, seconds};
-use marius_core::{DiskConfig, LinkPredictionTrainer, ModelConfig, TrainConfig};
+use marius_bench::{header, seconds, write_bench_json};
+use marius_core::{DiskConfig, LinkPredictionTask, ModelConfig, TrainConfig, Trainer};
 use marius_graph::datasets::{DatasetSpec, ScaledDataset};
 
 fn main() {
@@ -42,9 +42,10 @@ fn main() {
         "model", "Mem MRR", "COMET MRR", "BETA MRR", "COMET ep(s)", "BETA ep(s)"
     );
     let mut comet_wins = 0usize;
+    let mut json_reports: Vec<(String, marius_core::ExperimentReport)> = Vec::new();
     for (name, model) in models {
-        let trainer = LinkPredictionTrainer::new(model, train.clone());
-        let mem = trainer.train_in_memory(&data);
+        let trainer: Trainer<LinkPredictionTask> = Trainer::new(model, train.clone());
+        let mem = trainer.train_in_memory(&data).expect("in-memory training");
         let comet = trainer
             .train_disk(&data, &DiskConfig::comet(partitions, capacity))
             .expect("disk training");
@@ -63,7 +64,13 @@ fn main() {
             seconds(comet.avg_epoch_time()),
             seconds(beta.avg_epoch_time())
         );
+        json_reports.push((format!("{name}/mem"), mem));
+        json_reports.push((format!("{name}/disk-comet"), comet));
+        json_reports.push((format!("{name}/disk-beta"), beta));
     }
+    let labeled: Vec<(&str, &marius_core::ExperimentReport)> =
+        json_reports.iter().map(|(l, r)| (l.as_str(), r)).collect();
+    write_bench_json("table8_comet_vs_beta", &labeled);
     println!("\nCOMET matched or beat BETA's MRR on {comet_wins}/3 model configurations.");
     println!(
         "Paper reference (Table 8): COMET achieves higher MRR than BETA for 7 of 8\n\

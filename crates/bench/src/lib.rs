@@ -116,6 +116,30 @@ pub fn baseline_epoch_time(
     MultiGpuScaling::from_paper().scaled_epoch_time(system, gpus, single_gpu)
 }
 
+/// Writes the labeled experiment reports of one benchmark harness as
+/// `BENCH_<name>.json` in the current working directory, so the perf
+/// trajectory of every harness is machine-readable alongside its text table.
+/// IO failures are reported on stderr but never abort the harness.
+pub fn write_bench_json(name: &str, reports: &[(&str, &marius_core::ExperimentReport)]) {
+    let mut out = format!("{{\"bench\":\"{name}\",\"reports\":[");
+    for (i, (label, report)) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"report\":{}}}",
+            marius_core::report::json_escape(label),
+            report.to_json()
+        ));
+    }
+    out.push_str("]}");
+    let path = format!("BENCH_{name}.json");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("\nwrote {path} ({} reports)", reports.len()),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

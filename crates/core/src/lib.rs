@@ -1,6 +1,7 @@
 //! End-to-end out-of-core GNN training (the MariusGNN system proper).
 //!
-//! This crate ties the substrates together into the pipeline of Figure 2:
+//! This crate ties the substrates together into the pipeline of Figure 2,
+//! organised around a task-generic training engine:
 //!
 //! * [`config`] — model and training configuration (encoder kind, fanouts,
 //!   batch sizes, negative counts, disk policy selection).
@@ -9,20 +10,36 @@
 //!   feature matrix, or the out-of-core [`marius_storage::PartitionBuffer`].
 //! * [`models`] — the trainable models: a GNN encoder plus DistMult decoder for
 //!   link prediction and a GNN encoder plus softmax head for node
-//!   classification, each with a full manual forward/backward mini-batch step.
-//! * [`trainer`] — epoch orchestration for in-memory and disk-based training,
-//!   including the partition-buffer walk over a replacement policy's epoch plan,
-//!   per-phase timing (sampling / compute / IO), and evaluation (accuracy, MRR).
-//!   Disk-based epochs run either sequentially or on the staged
-//!   [`marius_pipeline::Pipeline`] runtime (prefetch / batch construction /
-//!   compute overlapped), selected by [`config::PipelineConfig`].
-//! * [`report`] — experiment reporting structures shared by the examples and the
-//!   benchmark harnesses that regenerate the paper's tables.
+//!   classification, each split into a `prepare` (CPU batch construction) and
+//!   `train_prepared` (compute) half so batches can be built on worker threads.
+//! * [`task`] — the [`task::Task`] trait capturing everything task-specific:
+//!   example enumeration, batch preparation, disk layout, and evaluation.
+//!   [`task::LinkPredictionTask`] and [`task::NodeClassificationTask`] are the
+//!   two built-in workloads.
+//! * [`trainer`] — the single generic [`trainer::Trainer`]`<T: Task>` that owns
+//!   the in-memory, sequential-disk, and pipelined-disk epoch executors once
+//!   for every task, including the partition-buffer walk over a replacement
+//!   policy's epoch plan, per-phase timing (sampling / compute / IO),
+//!   eval-cadence control, per-epoch hooks, and evaluation. Disk-based epochs
+//!   run either sequentially or on the staged [`marius_pipeline::Pipeline`]
+//!   runtime (prefetch / batch construction / compute overlapped), selected by
+//!   [`config::PipelineConfig`]; the two executors are bit-identical under a
+//!   fixed seed.
+//! * [`report`] — experiment reporting structures (with JSON export) shared by
+//!   the examples and the benchmark harnesses that regenerate the paper's
+//!   tables.
+//!
+//! Downstream users who just want to train something should start from the
+//! `marius::Session` builder in the workspace root crate, which wraps this
+//! engine behind a single entry point. The `LinkPredictionTrainer` and
+//! `NodeClassificationTrainer` names of earlier revisions remain available as
+//! deprecated aliases of `Trainer<T>`.
 
 pub mod config;
 pub mod models;
 pub mod report;
 pub mod source;
+pub mod task;
 pub mod trainer;
 
 pub use config::{DiskConfig, EncoderKind, ModelConfig, PipelineConfig, PolicyKind, TrainConfig};
@@ -32,4 +49,7 @@ pub use models::{
 };
 pub use report::{EpochReport, ExperimentReport};
 pub use source::{FixedFeatureSource, RepresentationSource, TableSource};
+pub use task::{DiskSetup, LinkPredictionTask, NodeClassificationTask, Task};
+pub use trainer::{EpochHook, Trainer};
+#[allow(deprecated)]
 pub use trainer::{LinkPredictionTrainer, NodeClassificationTrainer};

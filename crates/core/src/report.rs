@@ -1,10 +1,35 @@
 //! Experiment reporting structures shared by examples and benchmark harnesses.
+//!
+//! Reports render two ways: [`ExperimentReport::to_table`] produces the
+//! aligned text tables the harnesses print, and [`ExperimentReport::to_json`]
+//! produces a machine-readable document (written as `BENCH_*.json` by the
+//! benchmark harnesses so perf trajectories can be tracked across commits).
 
 use marius_baselines::{AwsInstance, CostModel};
+use serde::Serialize;
 use std::time::Duration;
 
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes and control characters). Shared by [`ExperimentReport::to_json`]
+/// and the benchmark harnesses' `BENCH_*.json` writer.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Per-epoch measurements.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct EpochReport {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -49,7 +74,7 @@ pub struct EpochReport {
 }
 
 /// A complete experiment run: configuration label plus per-epoch reports.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct ExperimentReport {
     /// System / configuration label (e.g. "M-GNN_Mem", "M-GNN_Disk (COMET)").
     pub system: String,
@@ -110,6 +135,66 @@ impl ExperimentReport {
             }
         }
         None
+    }
+
+    /// Renders the report as a self-contained JSON document: the labels, the
+    /// derived summary metrics, and one object per epoch. Durations are
+    /// emitted in (fractional) seconds; skipped-evaluation metrics are
+    /// rendered as `null`.
+    ///
+    /// Serialization is hand-rolled because the build environment vendors a
+    /// no-op `serde` shim; the `Serialize` derives on these structs are
+    /// markers that keep the types compatible with the real crate.
+    pub fn to_json(&self) -> String {
+        let esc = json_escape;
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".into()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"system\":\"{}\",\"dataset\":\"{}\",\"final_metric\":{},\"best_metric\":{},\
+             \"avg_epoch_time_s\":{},\"total_time_s\":{},\"epochs\":[",
+            esc(&self.system),
+            esc(&self.dataset),
+            num(self.final_metric()),
+            num(self.best_metric()),
+            num(self.avg_epoch_time().as_secs_f64()),
+            num(self.total_time().as_secs_f64()),
+        ));
+        for (i, e) in self.epochs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"epoch\":{},\"loss\":{},\"metric\":{},\"epoch_time_s\":{},\
+                 \"sample_time_s\":{},\"compute_time_s\":{},\"io_time_s\":{},\
+                 \"io_wait_time_s\":{},\"stall_time_s\":{},\"overlap\":{},\
+                 \"io_bytes_read\":{},\"io_bytes_written\":{},\"partition_loads\":{},\
+                 \"examples\":{},\"nodes_sampled\":{},\"edges_sampled\":{}}}",
+                e.epoch,
+                num(e.loss),
+                num(e.metric),
+                num(e.epoch_time.as_secs_f64()),
+                num(e.sample_time.as_secs_f64()),
+                num(e.compute_time.as_secs_f64()),
+                num(e.io_time.as_secs_f64()),
+                num(e.io_wait_time.as_secs_f64()),
+                num(e.stall_time.as_secs_f64()),
+                num(e.overlap),
+                e.io_bytes_read,
+                e.io_bytes_written,
+                e.partition_loads,
+                e.examples,
+                e.nodes_sampled,
+                e.edges_sampled,
+            ));
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Renders the report as an aligned text table (one row per epoch).
@@ -188,5 +273,29 @@ mod tests {
         let table = r.to_table();
         assert!(table.contains("test-system"));
         assert_eq!(table.lines().count(), 4);
+    }
+
+    #[test]
+    fn json_rendering_contains_labels_summary_and_epochs() {
+        let r = report_with(&[0.5, 0.6], 10);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"system\":\"test-system\""));
+        assert!(json.contains("\"dataset\":\"test-data\""));
+        assert!(json.contains("\"final_metric\":0.6"));
+        assert!(json.contains("\"epoch_time_s\":10"));
+        assert_eq!(json.matches("\"epoch\":").count(), 2);
+    }
+
+    #[test]
+    fn json_escapes_labels_and_renders_nan_as_null() {
+        let mut r = ExperimentReport::new("sys \"quoted\"\\", "d");
+        r.epochs.push(EpochReport {
+            metric: f64::NAN,
+            ..Default::default()
+        });
+        let json = r.to_json();
+        assert!(json.contains("sys \\\"quoted\\\"\\\\"));
+        assert!(json.contains("\"metric\":null"));
     }
 }

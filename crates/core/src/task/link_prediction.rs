@@ -1,0 +1,260 @@
+//! Link prediction as a [`Task`]: edge examples, shared negatives, DistMult
+//! scoring, COMET/BETA disk policies, MRR evaluation.
+
+use super::{graph_err, DiskSetup, Task};
+use crate::config::{DiskConfig, ModelConfig, PolicyKind, TrainConfig};
+use crate::models::{BatchStats, LinkBatchBuilder, LinkPredictionModel, PreparedLinkBatch};
+use crate::source::{RepresentationSource, TableSource};
+use crate::trainer::read_all_embeddings;
+use marius_gnn::EmbeddingTable;
+use marius_graph::datasets::ScaledDataset;
+use marius_graph::{Edge, EdgeBucket, InMemorySubgraph, NodeId, Partitioner};
+use marius_storage::policy::ReplacementPolicy;
+use marius_storage::{
+    BetaPolicy, CometPolicy, EpochPlan, PartitionBuffer, PartitionStore, Result, StorageError,
+};
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+/// The link-prediction workload (M-GNN's knowledge-graph configuration):
+/// training examples are positive edges, every mini batch shares a pool of
+/// sampled negatives, and disk-based training walks a COMET or BETA epoch
+/// plan over randomly partitioned embeddings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkPredictionTask;
+
+/// Precomputed evaluation inputs for link prediction.
+pub struct LinkEvalContext {
+    subgraph: Arc<InMemorySubgraph>,
+    candidates: Vec<NodeId>,
+}
+
+impl Task for LinkPredictionTask {
+    type Example = Edge;
+    type Model = LinkPredictionModel;
+    type BatchBuilder = LinkBatchBuilder;
+    type PreparedBatch = PreparedLinkBatch;
+    type EvalContext = LinkEvalContext;
+
+    fn slug(&self) -> &'static str {
+        "lp"
+    }
+
+    fn metric_name(&self) -> &'static str {
+        "MRR"
+    }
+
+    fn build_model(
+        &self,
+        model: &ModelConfig,
+        train: &TrainConfig,
+        data: &ScaledDataset,
+        rng: &mut StdRng,
+    ) -> Result<Self::Model> {
+        Ok(
+            LinkPredictionModel::new(model, data.spec.num_relations, rng)
+                .with_negatives(train.num_negatives),
+        )
+    }
+
+    fn batch_builder(&self, model: &Self::Model) -> Self::BatchBuilder {
+        model.batch_builder()
+    }
+
+    fn in_memory_source(
+        &self,
+        model: &ModelConfig,
+        data: &ScaledDataset,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn RepresentationSource>> {
+        let table = EmbeddingTable::new(data.num_nodes() as usize, model.input_dim, 0.1, rng)
+            .with_learning_rate(model.embedding_learning_rate);
+        Ok(Box::new(TableSource::new(table)))
+    }
+
+    fn in_memory_subgraph(&self, data: &ScaledDataset) -> InMemorySubgraph {
+        InMemorySubgraph::from_edges(&data.train_edges)
+    }
+
+    fn in_memory_examples(&self, data: &ScaledDataset) -> Vec<Edge> {
+        data.train_edges.clone()
+    }
+
+    fn in_memory_candidates(&self, data: &ScaledDataset) -> Vec<NodeId> {
+        (0..data.num_nodes()).collect()
+    }
+
+    fn prepare(
+        &self,
+        builder: &Self::BatchBuilder,
+        _data: &ScaledDataset,
+        subgraph: &InMemorySubgraph,
+        batch: &[Edge],
+        candidates: &[NodeId],
+        rng: &mut StdRng,
+    ) -> Self::PreparedBatch {
+        builder.prepare(subgraph, batch, candidates, rng)
+    }
+
+    fn train_prepared(
+        &self,
+        model: &mut Self::Model,
+        source: &mut dyn RepresentationSource,
+        prepared: Self::PreparedBatch,
+    ) -> BatchStats {
+        model.train_prepared(source, prepared)
+    }
+
+    fn disk_label(&self, disk: &DiskConfig) -> Result<String> {
+        match disk.policy {
+            PolicyKind::Comet => Ok("M-GNN_Disk (COMET)".into()),
+            PolicyKind::Beta => Ok("M-GNN_Disk (BETA)".into()),
+            PolicyKind::NodeCache => Err(StorageError::InvalidPlan {
+                reason: "node-cache policy applies to node classification only".into(),
+            }),
+        }
+    }
+
+    fn disk_setup(
+        &self,
+        model: &ModelConfig,
+        data: &ScaledDataset,
+        disk: &DiskConfig,
+        store: PartitionStore,
+        rng: &mut StdRng,
+    ) -> Result<DiskSetup> {
+        let partitioner = Partitioner::new(disk.num_partitions).map_err(graph_err)?;
+        let assignment = partitioner.random(data.num_nodes(), rng);
+        let train_graph = marius_graph::EdgeList::from_edges(
+            data.num_nodes(),
+            data.spec.num_relations,
+            data.train_edges.clone(),
+        )
+        .map_err(graph_err)?;
+        let buckets = partitioner
+            .build_buckets(&train_graph, &assignment)
+            .map_err(graph_err)?;
+        let buffer = PartitionBuffer::new(
+            store.clone(),
+            assignment.clone(),
+            model.input_dim,
+            disk.buffer_capacity,
+            true,
+        )
+        .with_learning_rate(model.embedding_learning_rate);
+        buffer.initialize_random(0.1, rng)?;
+        buffer.initialize_buckets(&buckets)?;
+        Ok(DiskSetup {
+            assignment,
+            buckets,
+            buffer,
+            store,
+            cached_partitions: 0,
+            writeback: true,
+        })
+    }
+
+    fn epoch_plan(
+        &self,
+        disk: &DiskConfig,
+        _setup: &DiskSetup,
+        rng: &mut StdRng,
+    ) -> Result<EpochPlan> {
+        let p = disk.num_partitions;
+        match disk.policy {
+            PolicyKind::Comet => {
+                let policy = if disk.num_logical == 0 {
+                    CometPolicy::auto(p, disk.buffer_capacity)
+                } else {
+                    CometPolicy::new(disk.buffer_capacity, disk.num_logical)
+                };
+                policy.plan(p, rng)
+            }
+            PolicyKind::Beta => BetaPolicy::new(disk.buffer_capacity).plan(p, rng),
+            PolicyKind::NodeCache => Err(StorageError::InvalidPlan {
+                reason: "node-cache policy applies to node classification only".into(),
+            }),
+        }
+    }
+
+    fn step_examples(
+        &self,
+        _data: &ScaledDataset,
+        buckets: &[EdgeBucket],
+        num_partitions: u32,
+        plan: &EpochPlan,
+        step: usize,
+    ) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for &(i, j) in &plan.bucket_assignment[step] {
+            edges.extend_from_slice(&buckets[(i * num_partitions + j) as usize].edges);
+        }
+        edges
+    }
+
+    fn step_example_count(
+        &self,
+        _data: &ScaledDataset,
+        buckets: &[EdgeBucket],
+        num_partitions: u32,
+        plan: &EpochPlan,
+        step: usize,
+    ) -> usize {
+        plan.bucket_assignment[step]
+            .iter()
+            .map(|&(i, j)| buckets[(i * num_partitions + j) as usize].edges.len())
+            .sum()
+    }
+
+    fn disk_eval_source(
+        &self,
+        model: &ModelConfig,
+        _data: &ScaledDataset,
+        setup: &DiskSetup,
+    ) -> Result<Box<dyn RepresentationSource>> {
+        let flat = read_all_embeddings(&setup.store, &setup.assignment, model.input_dim)?;
+        Ok(Box::new(TableSource::new(EmbeddingTable::from_rows(
+            flat,
+            model.input_dim,
+        ))))
+    }
+
+    fn eval_context(&self, data: &ScaledDataset) -> Self::EvalContext {
+        LinkEvalContext {
+            subgraph: Arc::new(InMemorySubgraph::from_edges(&data.train_edges)),
+            candidates: (0..data.num_nodes()).collect(),
+        }
+    }
+
+    fn in_memory_eval_context(
+        &self,
+        data: &ScaledDataset,
+        train_subgraph: &Arc<InMemorySubgraph>,
+    ) -> Self::EvalContext {
+        // In-memory training already holds the train-edge subgraph MRR
+        // evaluation ranks over; share it.
+        LinkEvalContext {
+            subgraph: Arc::clone(train_subgraph),
+            candidates: (0..data.num_nodes()).collect(),
+        }
+    }
+
+    fn evaluate(
+        &self,
+        model: &Self::Model,
+        source: &dyn RepresentationSource,
+        ctx: &Self::EvalContext,
+        data: &ScaledDataset,
+        train: &TrainConfig,
+        rng: &mut StdRng,
+    ) -> f64 {
+        model.evaluate_mrr(
+            source,
+            &ctx.subgraph,
+            &data.test_edges,
+            &ctx.candidates,
+            train.eval_negatives,
+            rng,
+        )
+    }
+}

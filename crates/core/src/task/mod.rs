@@ -1,0 +1,236 @@
+//! The [`Task`] abstraction: everything that differs between training
+//! workloads, captured behind one trait.
+//!
+//! The paper's Figure 2 describes a single processing pipeline that serves
+//! both of its workloads (link prediction and node classification). This
+//! module is that boundary in code: the generic
+//! [`Trainer`](crate::trainer::Trainer) owns the in-memory, sequential-disk
+//! and pipelined-disk epoch executors exactly once, and delegates every
+//! task-specific decision — what a training example is, how a mini batch is
+//! constructed and applied, how storage is laid out on disk, and how the
+//! model is evaluated — to a [`Task`] implementation.
+//!
+//! Two implementations are provided:
+//!
+//! * [`LinkPredictionTask`] — examples are edges, batches carry shared
+//!   negatives, storage uses random partitioning with the COMET/BETA
+//!   replacement policies, and evaluation ranks held-out edges by MRR.
+//! * [`NodeClassificationTask`] — examples are labeled nodes, storage packs
+//!   the training nodes into leading partitions cached for the whole epoch
+//!   (§5.2), and evaluation measures test-set accuracy.
+//!
+//! Implementations must preserve the trainer's RNG discipline: any method
+//! that receives an RNG draws from it in a deterministic order (or not at
+//! all), so that the sequential and pipelined executors remain bit-identical
+//! under a fixed seed.
+
+mod link_prediction;
+mod node_classification;
+
+pub use link_prediction::{LinkEvalContext, LinkPredictionTask};
+pub use node_classification::{NodeClassificationTask, NodeEvalContext};
+
+use crate::config::{DiskConfig, ModelConfig, TrainConfig};
+use crate::models::BatchStats;
+use crate::source::RepresentationSource;
+use marius_graph::datasets::ScaledDataset;
+use marius_graph::{EdgeBucket, InMemorySubgraph, NodeId, PartitionAssignment};
+use marius_storage::{EpochPlan, PartitionBuffer, PartitionStore, Result, StorageError};
+use rand::rngs::StdRng;
+
+/// Converts a graph-layer failure into the storage error the trainers
+/// propagate.
+pub(crate) fn graph_err(e: marius_graph::GraphError) -> StorageError {
+    StorageError::InvalidPlan {
+        reason: format!("graph construction failed: {e}"),
+    }
+}
+
+/// Everything a disk-based training run needs, assembled once by
+/// [`Task::disk_setup`] and threaded through the epoch executors.
+pub struct DiskSetup {
+    /// The node → physical-partition mapping.
+    pub assignment: PartitionAssignment,
+    /// The `p × p` edge buckets in row-major order.
+    pub buckets: Vec<EdgeBucket>,
+    /// The bounded in-memory partition buffer (initialised and ready).
+    pub buffer: PartitionBuffer,
+    /// Handle to the on-disk partition store backing `buffer`.
+    pub store: PartitionStore,
+    /// Number of leading partitions that hold training nodes (the `k` of the
+    /// §5.2 caching policy; 0 for tasks that do not cache).
+    pub cached_partitions: u32,
+    /// Whether the buffer holds learnable state that must be flushed back to
+    /// disk at the end of every epoch (true for trained embeddings, false for
+    /// fixed features).
+    pub writeback: bool,
+}
+
+/// A training workload: the task-specific half of the Figure 2 pipeline.
+///
+/// The generic [`Trainer`](crate::trainer::Trainer) drives implementations of
+/// this trait through three phases — model/source construction, epoch
+/// execution (batch preparation on worker threads plus compute on the
+/// consumer thread), and evaluation. See the module docs for the contract on
+/// RNG usage.
+pub trait Task: Sync {
+    /// One training example: an edge for link prediction, a labeled node for
+    /// node classification.
+    type Example: Clone + Send;
+    /// The trainable model (encoder plus task head/decoder).
+    type Model;
+    /// The CPU-side batch constructor; shared by reference across the
+    /// pipelined runtime's sampling workers.
+    type BatchBuilder: Send + Sync;
+    /// A fully constructed batch, ready for the compute stage. Crosses the
+    /// worker → consumer queue in the pipelined runtime.
+    type PreparedBatch: Send;
+    /// Precomputed evaluation inputs (graph structure, labels, candidates).
+    type EvalContext;
+
+    /// Short machine-friendly tag used in store labels ("lp", "nc").
+    fn slug(&self) -> &'static str;
+
+    /// Human-readable name of the task metric ("MRR", "accuracy").
+    fn metric_name(&self) -> &'static str;
+
+    /// Builds the trainable model. Validates that `data` carries what the
+    /// task needs (e.g. labels and a class count for classification).
+    fn build_model(
+        &self,
+        model: &ModelConfig,
+        train: &TrainConfig,
+        data: &ScaledDataset,
+        rng: &mut StdRng,
+    ) -> Result<Self::Model>;
+
+    /// A clone of the model's batch builder for use on sampling worker
+    /// threads.
+    fn batch_builder(&self, model: &Self::Model) -> Self::BatchBuilder;
+
+    /// The base-representation source for in-memory training (a learnable
+    /// embedding table or a fixed feature matrix).
+    fn in_memory_source(
+        &self,
+        model: &ModelConfig,
+        data: &ScaledDataset,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn RepresentationSource>>;
+
+    /// The full in-memory training graph.
+    fn in_memory_subgraph(&self, data: &ScaledDataset) -> InMemorySubgraph;
+
+    /// All training examples for one in-memory epoch (shuffled per epoch by
+    /// the trainer).
+    fn in_memory_examples(&self, data: &ScaledDataset) -> Vec<Self::Example>;
+
+    /// Negative-sampling candidates for in-memory training (empty for tasks
+    /// without negative sampling).
+    fn in_memory_candidates(&self, data: &ScaledDataset) -> Vec<NodeId>;
+
+    /// Builds one prepared batch: the CPU-side half of a training step
+    /// (negative sampling, label alignment, DENSE multi-hop sampling). Runs
+    /// on the calling thread in sequential paths and on sampling workers in
+    /// the pipelined path.
+    fn prepare(
+        &self,
+        builder: &Self::BatchBuilder,
+        data: &ScaledDataset,
+        subgraph: &InMemorySubgraph,
+        batch: &[Self::Example],
+        candidates: &[NodeId],
+        rng: &mut StdRng,
+    ) -> Self::PreparedBatch;
+
+    /// Applies one prepared batch to the model: forward/backward compute,
+    /// parameter updates and the sparse write-back of representation
+    /// gradients.
+    fn train_prepared(
+        &self,
+        model: &mut Self::Model,
+        source: &mut dyn RepresentationSource,
+        prepared: Self::PreparedBatch,
+    ) -> BatchStats;
+
+    /// The report label for a disk-based run, or an error if the disk
+    /// configuration's policy does not apply to this task.
+    fn disk_label(&self, disk: &DiskConfig) -> Result<String>;
+
+    /// Partitions the graph, materialises the on-disk layout in `store`, and
+    /// returns the initialised [`DiskSetup`].
+    fn disk_setup(
+        &self,
+        model: &ModelConfig,
+        data: &ScaledDataset,
+        disk: &DiskConfig,
+        store: PartitionStore,
+        rng: &mut StdRng,
+    ) -> Result<DiskSetup>;
+
+    /// Produces this epoch's partition-set walk from the task's replacement
+    /// policy.
+    fn epoch_plan(
+        &self,
+        disk: &DiskConfig,
+        setup: &DiskSetup,
+        rng: &mut StdRng,
+    ) -> Result<EpochPlan>;
+
+    /// The training examples assigned to plan step `step` (unshuffled; the
+    /// executors shuffle with the step RNG). May be empty for steps that only
+    /// stage partitions into the buffer.
+    fn step_examples(
+        &self,
+        data: &ScaledDataset,
+        buckets: &[EdgeBucket],
+        num_partitions: u32,
+        plan: &EpochPlan,
+        step: usize,
+    ) -> Vec<Self::Example>;
+
+    /// The number of examples [`Task::step_examples`] would return, without
+    /// materialising them (used to pre-compute per-step batch budgets).
+    fn step_example_count(
+        &self,
+        data: &ScaledDataset,
+        buckets: &[EdgeBucket],
+        num_partitions: u32,
+        plan: &EpochPlan,
+        step: usize,
+    ) -> usize;
+
+    /// The representation source used to evaluate a disk-based run (for
+    /// learnable embeddings this reassembles the full table from disk). The
+    /// trainer calls this once per evaluated epoch for writeback setups and
+    /// caches the result otherwise (fixed representations never change).
+    fn disk_eval_source(
+        &self,
+        model: &ModelConfig,
+        data: &ScaledDataset,
+        setup: &DiskSetup,
+    ) -> Result<Box<dyn RepresentationSource>>;
+
+    /// Precomputes the evaluation inputs (full-graph structure, test labels,
+    /// ranking candidates). Must not draw from any RNG.
+    fn eval_context(&self, data: &ScaledDataset) -> Self::EvalContext;
+
+    /// [`Task::eval_context`] for in-memory training, where evaluation runs
+    /// over the training graph itself: implementations should share
+    /// `train_subgraph` instead of rebuilding it. Must not draw from any RNG.
+    fn in_memory_eval_context(
+        &self,
+        data: &ScaledDataset,
+        train_subgraph: &std::sync::Arc<InMemorySubgraph>,
+    ) -> Self::EvalContext;
+
+    /// Computes the task metric over the held-out split.
+    fn evaluate(
+        &self,
+        model: &Self::Model,
+        source: &dyn RepresentationSource,
+        ctx: &Self::EvalContext,
+        data: &ScaledDataset,
+        train: &TrainConfig,
+        rng: &mut StdRng,
+    ) -> f64;
+}

@@ -1,47 +1,67 @@
-//! Epoch orchestration for in-memory and disk-based training.
+//! The task-generic training engine: one [`Trainer`] for every workload.
 //!
-//! Both trainers follow the structure of Figure 2: the storage side produces a
-//! sequence of in-memory subgraphs (a single one for in-memory training, one per
-//! partition set for disk-based training) and the processing side consumes the
-//! training examples assigned to each subgraph as mini batches. Timing is broken
-//! down into sampling, compute and (estimated) IO so the benchmark harnesses can
-//! report the same columns as the paper's tables.
+//! The trainer follows the structure of Figure 2: the storage side produces a
+//! sequence of in-memory subgraphs (a single one for in-memory training, one
+//! per partition set for disk-based training) and the processing side consumes
+//! the training examples assigned to each subgraph as mini batches. Everything
+//! task-specific — what an example is, how batches are prepared and applied,
+//! how storage is partitioned, how the model is evaluated — lives behind the
+//! [`Task`] trait, so the three epoch executors below exist
+//! exactly once:
 //!
-//! # Sequential versus pipelined disk epochs
-//!
-//! Each disk-based trainer has two epoch executors selected by
-//! [`crate::config::PipelineConfig::enabled`]:
-//!
-//! * **Sequential** (`enabled = false`, the default): partition swaps, DENSE
-//!   sampling and compute run back-to-back on the calling thread, so epoch
-//!   time is the *sum* of the three phases. This path is also the determinism
-//!   oracle for the pipeline.
-//! * **Pipelined** (`enabled = true`): the epoch runs on
+//! * **In-memory** ([`Trainer::train_in_memory`]) — the full graph and all
+//!   base representations stay resident (the M-GNN_Mem configuration).
+//! * **Sequential disk** ([`Trainer::train_disk`] with
+//!   [`crate::config::PipelineConfig::enabled`]` = false`, the default):
+//!   partition swaps, DENSE sampling and compute run back-to-back on the
+//!   calling thread, so epoch time is the *sum* of the three phases. This
+//!   path is also the determinism oracle for the pipeline.
+//! * **Pipelined disk** (`enabled = true`): the epoch runs on
 //!   [`marius_pipeline::Pipeline`] — a prefetcher thread walks the policy's
 //!   `EpochPlan` ahead of the consumer issuing `PartitionStore` reads, a pool
 //!   of workers builds batches (shuffle, negative sampling, DENSE multi-hop
 //!   sampling), and the calling thread applies `train_prepared` and enqueues
 //!   dirty-partition write-backs — so epoch time approaches the *max* phase.
 //!
-//! Both executors derive every in-epoch random draw from
+//! Both disk executors derive every in-epoch random draw from
 //! [`marius_pipeline::step_seed`]`(epoch_seed, step)`, which makes their loss
-//! trajectories bit-identical for a fixed training seed (asserted by the
-//! `pipeline_determinism` integration test at the workspace root). Disk-path
-//! failures (missing or truncated partition files, invalid plans) propagate as
+//! trajectories bit-identical for a fixed training seed and any worker count
+//! (asserted by the `pipeline_determinism` and `task_equivalence` integration
+//! tests at the workspace root). Disk-path failures (missing or truncated
+//! partition files, invalid plans) propagate as
 //! [`marius_storage::StorageError`] instead of panicking.
+//!
+//! The concrete trainers of earlier revisions survive as deprecated aliases:
+//! [`LinkPredictionTrainer`] and [`NodeClassificationTrainer`] are
+//! `Trainer<LinkPredictionTask>` and `Trainer<NodeClassificationTask>`.
 
-mod link_prediction;
-mod node_classification;
-
-pub use link_prediction::LinkPredictionTrainer;
-pub use node_classification::NodeClassificationTrainer;
-
+use crate::config::{DiskConfig, ModelConfig, PipelineConfig, TrainConfig};
+use crate::models::BatchStats;
+use crate::report::{EpochReport, ExperimentReport};
+use crate::task::{DiskSetup, LinkPredictionTask, NodeClassificationTask, Task};
+use marius_graph::datasets::ScaledDataset;
 use marius_graph::PartitionAssignment;
-use marius_storage::{PartitionStore, Result};
+use marius_pipeline::{step_seed, Pipeline};
+use marius_storage::{IoCostModel, PartitionStore, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// A callback invoked after every completed epoch (metrics are final for the
+/// epoch when it runs). Used by the `marius::Session` facade for progress
+/// reporting and checkpointing.
+pub type EpochHook = Box<dyn Fn(&EpochReport) + Send + Sync>;
 
 /// Reads every node partition back from disk and assembles a flat
 /// `num_nodes × dim` embedding buffer indexed by global node id. Used to run
 /// full-graph evaluation after a disk-based training epoch.
+///
+/// Rows are copied one maximal run of consecutive node ids at a time: for the
+/// common case where a partition's nodes are contiguous (e.g. the §5.2
+/// training-nodes-first layout) the whole partition lands in one
+/// `copy_from_slice`, and arbitrary mixed layouts degrade gracefully to
+/// per-run copies.
 pub(crate) fn read_all_embeddings(
     store: &PartitionStore,
     assignment: &PartitionAssignment,
@@ -50,43 +70,594 @@ pub(crate) fn read_all_embeddings(
     let mut flat = vec![0.0f32; assignment.num_nodes() as usize * dim];
     for p in 0..assignment.num_partitions() {
         let (values, _state) = store.read_partition(p)?;
-        for (offset, &node) in assignment.nodes_in(p).iter().enumerate() {
-            let src = &values[offset * dim..(offset + 1) * dim];
-            let dst_start = node as usize * dim;
-            flat[dst_start..dst_start + dim].copy_from_slice(src);
+        let nodes = assignment.nodes_in(p);
+        let mut start = 0usize;
+        while start < nodes.len() {
+            let mut end = start + 1;
+            while end < nodes.len() && nodes[end] == nodes[end - 1] + 1 {
+                end += 1;
+            }
+            let dst_start = nodes[start] as usize * dim;
+            flat[dst_start..dst_start + (end - start) * dim]
+                .copy_from_slice(&values[start * dim..end * dim]);
+            start = end;
         }
     }
     Ok(flat)
 }
 
-/// Deterministically shuffles a vector of items using the provided RNG.
-pub(crate) fn shuffle_in_place<T, R: rand::Rng + ?Sized>(items: &mut [T], rng: &mut R) {
-    for i in (1..items.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        items.swap(i, j);
+fn accumulate(epoch: &mut EpochReport, stats: &BatchStats) {
+    epoch.loss += stats.loss * stats.examples as f64;
+    epoch.examples += stats.examples;
+    epoch.sample_time += stats.sample_time;
+    epoch.compute_time += stats.compute_time;
+    epoch.nodes_sampled += stats.nodes_sampled;
+    epoch.edges_sampled += stats.edges_sampled;
+}
+
+fn finalize(epoch: &mut EpochReport) {
+    if epoch.examples > 0 {
+        epoch.loss /= epoch.examples as f64;
     }
 }
+
+/// Orchestrates training for one model configuration of any [`Task`].
+pub struct Trainer<T: Task> {
+    /// The workload being trained.
+    pub task: T,
+    /// Model architecture.
+    pub model: ModelConfig,
+    /// Batch/epoch configuration.
+    pub train: TrainConfig,
+    /// IO cost model used to estimate disk time for reports.
+    pub io_model: IoCostModel,
+    /// Staged-runtime configuration for disk-based training; disabled selects
+    /// the sequential fallback.
+    pub pipeline: PipelineConfig,
+    /// When `true`, the partition store emulates the `io_model` device
+    /// (reads/writes sleep to the modeled transfer time) instead of running at
+    /// page-cache speed. Used by benchmarks that measure IO/compute overlap.
+    pub emulate_device: bool,
+    /// Evaluate the task metric every `eval_every` epochs (and always after
+    /// the final epoch). `0` and `1` both evaluate every epoch. Skipped epochs
+    /// report `metric = f64::NAN`. Note that evaluation consumes RNG draws, so
+    /// changing the cadence changes subsequent epochs' trajectories.
+    pub eval_every: usize,
+    epoch_hook: Option<EpochHook>,
+}
+
+impl<T: Task + Default> Trainer<T> {
+    /// Creates a trainer (sequential disk path by default) for a stateless
+    /// task.
+    pub fn new(model: ModelConfig, train: TrainConfig) -> Self {
+        Trainer::with_task(T::default(), model, train)
+    }
+}
+
+impl<T: Task> Trainer<T> {
+    /// Creates a trainer for an explicit task value.
+    pub fn with_task(task: T, model: ModelConfig, train: TrainConfig) -> Self {
+        Trainer {
+            task,
+            model,
+            train,
+            io_model: IoCostModel::default(),
+            pipeline: PipelineConfig::disabled(),
+            emulate_device: false,
+            eval_every: 1,
+            epoch_hook: None,
+        }
+    }
+
+    /// Selects the pipelined disk-training runtime.
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Runs disk training against an emulated `model` device instead of the
+    /// raw local filesystem (see `PartitionStore::with_emulated_device`).
+    pub fn with_emulated_device(mut self, model: IoCostModel) -> Self {
+        self.io_model = model;
+        self.emulate_device = true;
+        self
+    }
+
+    /// Evaluates the task metric only every `every` epochs (plus the final
+    /// epoch). See [`Trainer::eval_every`] for the RNG caveat.
+    pub fn with_eval_every(mut self, every: usize) -> Self {
+        self.eval_every = every;
+        self
+    }
+
+    /// Installs a callback invoked after every completed epoch.
+    pub fn with_epoch_hook(mut self, hook: impl Fn(&EpochReport) + Send + Sync + 'static) -> Self {
+        self.epoch_hook = Some(Box::new(hook));
+        self
+    }
+
+    fn should_evaluate(&self, epoch_idx: usize) -> bool {
+        let every = self.eval_every.max(1);
+        (epoch_idx + 1).is_multiple_of(every) || epoch_idx + 1 == self.train.epochs
+    }
+
+    fn epoch_done(&self, report: &ExperimentReport) {
+        if let (Some(hook), Some(epoch)) = (&self.epoch_hook, report.epochs.last()) {
+            hook(epoch);
+        }
+    }
+
+    /// Trains with the full graph in memory (the M-GNN_Mem configuration).
+    pub fn train_in_memory(&self, data: &ScaledDataset) -> Result<ExperimentReport> {
+        let mut rng = StdRng::seed_from_u64(self.train.seed);
+        let mut report = ExperimentReport::new("M-GNN_Mem", data.spec.name.clone());
+
+        let subgraph = std::sync::Arc::new(self.task.in_memory_subgraph(data));
+        let candidates = self.task.in_memory_candidates(data);
+        let mut model = self
+            .task
+            .build_model(&self.model, &self.train, data, &mut rng)?;
+        let mut source = self.task.in_memory_source(&self.model, data, &mut rng)?;
+        let builder = self.task.batch_builder(&model);
+        // In-memory training evaluates over the training graph itself, so the
+        // evaluation context shares the subgraph instead of rebuilding it.
+        let eval_ctx = self.task.in_memory_eval_context(data, &subgraph);
+        let mut examples = self.task.in_memory_examples(data);
+
+        for epoch_idx in 0..self.train.epochs {
+            let mut epoch = EpochReport {
+                epoch: epoch_idx,
+                ..Default::default()
+            };
+            let start = Instant::now();
+            examples.shuffle(&mut rng);
+            for (i, batch) in examples.chunks(self.train.batch_size).enumerate() {
+                if self.train.max_batches_per_epoch > 0 && i >= self.train.max_batches_per_epoch {
+                    break;
+                }
+                let prepared =
+                    self.task
+                        .prepare(&builder, data, &subgraph, batch, &candidates, &mut rng);
+                let stats = self
+                    .task
+                    .train_prepared(&mut model, source.as_mut(), prepared);
+                accumulate(&mut epoch, &stats);
+            }
+            epoch.epoch_time = start.elapsed();
+            epoch.metric = if self.should_evaluate(epoch_idx) {
+                self.task.evaluate(
+                    &model,
+                    source.as_ref(),
+                    &eval_ctx,
+                    data,
+                    &self.train,
+                    &mut rng,
+                )
+            } else {
+                f64::NAN
+            };
+            finalize(&mut epoch);
+            report.epochs.push(epoch);
+            self.epoch_done(&report);
+        }
+        Ok(report)
+    }
+
+    /// One sequential disk epoch: swaps, sampling and compute interleaved on
+    /// the calling thread. Serves as the determinism oracle for the pipelined
+    /// executor: both derive per-step RNGs from `step_seed(epoch_seed, step)`
+    /// and therefore produce bit-identical loss trajectories.
+    fn run_epoch_sequential(
+        &self,
+        data: &ScaledDataset,
+        plan: &marius_storage::EpochPlan,
+        setup: &mut DiskSetup,
+        epoch_seed: u64,
+        model: &mut T::Model,
+        epoch: &mut EpochReport,
+    ) -> Result<()> {
+        let p = setup.assignment.num_partitions();
+        let builder = self.task.batch_builder(model);
+        let mut batch_counter = 0usize;
+        for (s, set) in plan.partition_sets.iter().enumerate() {
+            let mut step_rng = StdRng::seed_from_u64(step_seed(epoch_seed, s as u64));
+            epoch.partition_loads += setup.buffer.load_set(set)?;
+            // Collect this step's training examples and shuffle them for
+            // mini-batch generation. Steps that only stage partitions into the
+            // buffer carry no examples.
+            let mut examples = self.task.step_examples(data, &setup.buckets, p, plan, s);
+            if examples.is_empty() {
+                continue;
+            }
+            examples.shuffle(&mut step_rng);
+            let candidates = setup.buffer.resident_nodes();
+            // One shared snapshot per step (the subgraph only changes on
+            // load_set); the Arc handle lets each batch borrow the buffer
+            // mutably without deep-copying the CSR structures.
+            let snapshot = setup.buffer.subgraph_arc();
+            for batch in examples.chunks(self.train.batch_size) {
+                if self.train.max_batches_per_epoch > 0
+                    && batch_counter >= self.train.max_batches_per_epoch
+                {
+                    break;
+                }
+                let prepared =
+                    self.task
+                        .prepare(&builder, data, &snapshot, batch, &candidates, &mut step_rng);
+                let stats = self.task.train_prepared(model, &mut setup.buffer, prepared);
+                accumulate(epoch, &stats);
+                batch_counter += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// One pipelined disk epoch on the staged runtime: stage 2 workers shuffle
+    /// the step's examples and build prepared batches (negatives + DENSE
+    /// sampling) while stage 1 prefetches upcoming partition sets and this
+    /// thread consumes `train_prepared` updates.
+    #[allow(clippy::too_many_arguments)]
+    fn run_epoch_pipelined(
+        &self,
+        pipe: &Pipeline,
+        data: &ScaledDataset,
+        plan: &marius_storage::EpochPlan,
+        setup: &mut DiskSetup,
+        epoch_seed: u64,
+        model: &mut T::Model,
+        epoch: &mut EpochReport,
+    ) -> Result<()> {
+        let p = setup.assignment.num_partitions();
+        let batch_size = self.train.batch_size;
+        let max_batches = self.train.max_batches_per_epoch;
+        // Per-step start offsets into the global batch budget so the cap is
+        // applied identically to the sequential counter even though workers
+        // build steps concurrently.
+        let mut batch_offsets = Vec::with_capacity(plan.partition_sets.len());
+        let mut acc = 0usize;
+        for s in 0..plan.partition_sets.len() {
+            batch_offsets.push(acc);
+            acc += self
+                .task
+                .step_example_count(data, &setup.buckets, p, plan, s)
+                .div_ceil(batch_size);
+        }
+        let builder = self.task.batch_builder(model);
+        let task = &self.task;
+        let buckets = &setup.buckets;
+        let report = pipe.run_epoch(
+            plan,
+            &mut setup.buffer,
+            epoch_seed,
+            |ctx, step_rng, sink| {
+                let mut examples = task.step_examples(data, buckets, p, plan, ctx.step);
+                if examples.is_empty() {
+                    return;
+                }
+                examples.shuffle(step_rng);
+                for (k, chunk) in examples.chunks(batch_size).enumerate() {
+                    if max_batches > 0 && batch_offsets[ctx.step] + k >= max_batches {
+                        break;
+                    }
+                    sink(task.prepare(
+                        &builder,
+                        data,
+                        &ctx.subgraph,
+                        chunk,
+                        &ctx.candidates,
+                        step_rng,
+                    ));
+                }
+            },
+            |buffer, _ctx, prepared| {
+                let stats = task.train_prepared(model, buffer, prepared);
+                accumulate(epoch, &stats);
+            },
+        )?;
+        epoch.partition_loads += report.partition_loads;
+        epoch.io_wait_time += report.compute_stall;
+        epoch.stall_time += report.prefetch_stall + report.sample_stall;
+        epoch.overlap = report.overlap_ratio();
+        Ok(())
+    }
+
+    /// Trains out-of-core with a partition buffer driven by the task's
+    /// replacement policy (the M-GNN_Disk configuration). Runs on the staged
+    /// pipeline runtime when `self.pipeline.enabled`, otherwise sequentially.
+    pub fn train_disk(&self, data: &ScaledDataset, disk: &DiskConfig) -> Result<ExperimentReport> {
+        let mut rng = StdRng::seed_from_u64(self.train.seed);
+        let label = self.task.disk_label(disk)?;
+        let mut report = ExperimentReport::new(label.clone(), data.spec.name.clone());
+
+        let store = PartitionStore::open_temp(&format!(
+            "{}-{}-{}",
+            self.task.slug(),
+            data.spec.name.replace('.', "-"),
+            label.replace([' ', '(', ')'], "")
+        ))?;
+        let store = if self.emulate_device {
+            store.with_emulated_device(self.io_model)
+        } else {
+            store
+        };
+        store.clear()?;
+        let mut setup = self
+            .task
+            .disk_setup(&self.model, data, disk, store, &mut rng)?;
+        let mut model = self
+            .task
+            .build_model(&self.model, &self.train, data, &mut rng)?;
+        let pipeline = self
+            .pipeline
+            .enabled
+            .then(|| Pipeline::new(self.pipeline.clone()));
+        let eval_ctx = self.task.eval_context(data);
+        // Non-writeback buffers hold fixed representations that never change
+        // on disk, so their evaluation source is built once; learnable ones
+        // are reassembled from disk after each epoch's flush.
+        let mut static_eval_source: Option<Box<dyn crate::source::RepresentationSource>> = None;
+
+        for epoch_idx in 0..self.train.epochs {
+            let mut epoch = EpochReport {
+                epoch: epoch_idx,
+                ..Default::default()
+            };
+            setup.store.reset_io_stats();
+            let start = Instant::now();
+            let plan = self.task.epoch_plan(disk, &setup, &mut rng)?;
+            // Every random draw inside the epoch derives from this seed (per
+            // step), so the sequential and pipelined executors are
+            // interchangeable bit-for-bit.
+            let epoch_seed: u64 = rng.gen();
+            match &pipeline {
+                Some(pipe) => self.run_epoch_pipelined(
+                    pipe, data, &plan, &mut setup, epoch_seed, &mut model, &mut epoch,
+                )?,
+                None => self.run_epoch_sequential(
+                    data, &plan, &mut setup, epoch_seed, &mut model, &mut epoch,
+                )?,
+            }
+            if setup.writeback {
+                setup.buffer.flush()?;
+            }
+            epoch.epoch_time = start.elapsed();
+
+            let io = setup.store.io_stats();
+            epoch.io_bytes_read = io.bytes_read;
+            epoch.io_bytes_written = io.bytes_written;
+            epoch.io_time = self.io_model.stats_time(&io);
+
+            epoch.metric = if self.should_evaluate(epoch_idx) {
+                let fresh_eval_source;
+                let eval_source: &dyn crate::source::RepresentationSource = if setup.writeback {
+                    fresh_eval_source = self.task.disk_eval_source(&self.model, data, &setup)?;
+                    fresh_eval_source.as_ref()
+                } else {
+                    if static_eval_source.is_none() {
+                        static_eval_source =
+                            Some(self.task.disk_eval_source(&self.model, data, &setup)?);
+                    }
+                    static_eval_source.as_deref().expect("populated above")
+                };
+                self.task
+                    .evaluate(&model, eval_source, &eval_ctx, data, &self.train, &mut rng)
+            } else {
+                f64::NAN
+            };
+            finalize(&mut epoch);
+            report.epochs.push(epoch);
+            self.epoch_done(&report);
+        }
+        let _ = setup.store.clear();
+        Ok(report)
+    }
+}
+
+/// The link-prediction trainer of earlier revisions.
+#[deprecated(note = "use `Trainer<LinkPredictionTask>` (or the `marius::Session` facade)")]
+pub type LinkPredictionTrainer = Trainer<LinkPredictionTask>;
+
+/// The node-classification trainer of earlier revisions.
+#[deprecated(note = "use `Trainer<NodeClassificationTask>` (or the `marius::Session` facade)")]
+pub type NodeClassificationTrainer = Trainer<NodeClassificationTask>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::config::DiskConfig;
+    use marius_graph::datasets::{DatasetSpec, ScaledDataset};
+    use marius_graph::Partitioner;
+    use marius_storage::PartitionStore;
+    use std::time::Duration;
+
+    fn lp_dataset() -> ScaledDataset {
+        ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.015), 3)
+    }
+
+    fn lp_trainer(layers: usize) -> Trainer<LinkPredictionTask> {
+        let mut model = ModelConfig::paper_link_prediction_graphsage(12).shrunk(5, 12);
+        if layers == 0 {
+            model = ModelConfig::paper_distmult(12);
+        }
+        let mut train = TrainConfig::quick(2, 9);
+        train.batch_size = 128;
+        train.num_negatives = 32;
+        train.eval_negatives = 64;
+        Trainer::new(model, train)
+    }
+
+    fn nc_dataset() -> ScaledDataset {
+        ScaledDataset::generate(&DatasetSpec::ogbn_arxiv().scaled(0.008), 21)
+    }
+
+    fn nc_trainer() -> Trainer<NodeClassificationTask> {
+        let mut model = ModelConfig::paper_node_classification(128, 16);
+        model.num_layers = 2;
+        model.fanouts = vec![8, 5];
+        let mut train = TrainConfig::quick(2, 13);
+        train.batch_size = 128;
+        Trainer::new(model, train)
+    }
 
     #[test]
-    fn shuffle_is_a_permutation() {
-        let mut v: Vec<u32> = (0..100).collect();
-        let mut rng = StdRng::seed_from_u64(1);
-        shuffle_in_place(&mut v, &mut rng);
-        let mut sorted = v.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    fn in_memory_link_prediction_produces_improving_mrr() {
+        let data = lp_dataset();
+        let report = lp_trainer(0).train_in_memory(&data).unwrap();
+        assert_eq!(report.epochs.len(), 2);
+        assert!(report.final_metric() > 0.1, "MRR {}", report.final_metric());
+        assert!(report.epochs[0].examples > 0);
+        assert!(report.epochs[0].sample_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn disk_link_prediction_with_comet_runs_and_learns() {
+        let data = lp_dataset();
+        let disk = DiskConfig::comet(8, 4);
+        let report = lp_trainer(1).train_disk(&data, &disk).unwrap();
+        assert_eq!(report.epochs.len(), 2);
+        assert!(report.epochs[0].partition_loads >= 4);
+        assert!(report.epochs[0].io_bytes_read > 0);
+        assert!(
+            report.final_metric() > 0.05,
+            "disk MRR {}",
+            report.final_metric()
+        );
+    }
+
+    #[test]
+    fn disk_link_prediction_with_beta_runs() {
+        let data = lp_dataset();
+        let report = lp_trainer(1)
+            .train_disk(&data, &DiskConfig::beta(8, 4))
+            .unwrap();
+        assert_eq!(report.epochs.len(), 2);
+        assert!(report.system.contains("BETA"));
+        assert!(report.final_metric() > 0.0);
+    }
+
+    #[test]
+    fn disk_link_prediction_rejects_node_cache_policy() {
+        let data = lp_dataset();
+        let err = lp_trainer(1)
+            .train_disk(&data, &DiskConfig::node_cache(8, 4))
+            .unwrap_err();
+        assert!(format!("{err}").contains("node classification"));
+    }
+
+    #[test]
+    fn pipelined_link_prediction_matches_sequential_losses() {
+        let data = lp_dataset();
+        let disk = DiskConfig::comet(8, 4);
+        let sequential = lp_trainer(1).train_disk(&data, &disk).unwrap();
+        let pipelined = lp_trainer(1)
+            .with_pipeline(marius_pipeline::PipelineConfig::with_workers(1))
+            .train_disk(&data, &disk)
+            .unwrap();
+        for (a, b) in sequential.epochs.iter().zip(&pipelined.epochs) {
+            assert_eq!(a.loss, b.loss, "epoch {} loss drifted", a.epoch);
+            assert_eq!(a.metric, b.metric, "epoch {} metric drifted", a.epoch);
+            assert_eq!(a.examples, b.examples);
+        }
+        assert!(pipelined.epochs[0].overlap > 0.0);
+    }
+
+    #[test]
+    fn in_memory_node_classification_beats_random_guessing() {
+        let data = nc_dataset();
+        let report = nc_trainer().train_in_memory(&data).unwrap();
+        assert_eq!(report.epochs.len(), 2);
+        let chance = 1.0 / data.spec.num_classes.unwrap() as f64;
+        assert!(
+            report.final_metric() > 2.0 * chance,
+            "accuracy {} should beat chance {}",
+            report.final_metric(),
+            chance
+        );
+        assert!(report.epochs[0].epoch_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn disk_node_classification_with_node_cache_runs_and_learns() {
+        let data = nc_dataset();
+        let disk = DiskConfig::node_cache(8, 6);
+        let report = nc_trainer().train_disk(&data, &disk).unwrap();
+        assert_eq!(report.epochs.len(), 2);
+        // The caching policy loads the buffer once per epoch and performs no
+        // swaps during it.
+        assert!(report.epochs[0].partition_loads <= 6);
+        let chance = 1.0 / data.spec.num_classes.unwrap() as f64;
+        assert!(report.final_metric() > 1.5 * chance);
+    }
+
+    #[test]
+    fn disk_node_classification_rejects_non_cache_policy() {
+        let data = nc_dataset();
+        let err = nc_trainer()
+            .train_disk(&data, &DiskConfig::comet(8, 4))
+            .unwrap_err();
+        assert!(format!("{err}").contains("training-node caching policy"));
+    }
+
+    #[test]
+    fn pipelined_node_classification_matches_sequential_losses() {
+        let data = nc_dataset();
+        let disk = DiskConfig::node_cache(8, 6);
+        let sequential = nc_trainer().train_disk(&data, &disk).unwrap();
+        let pipelined = nc_trainer()
+            .with_pipeline(marius_pipeline::PipelineConfig::with_workers(1))
+            .train_disk(&data, &disk)
+            .unwrap();
+        for (a, b) in sequential.epochs.iter().zip(&pipelined.epochs) {
+            assert_eq!(a.loss, b.loss, "epoch {} loss drifted", a.epoch);
+            assert_eq!(a.metric, b.metric, "epoch {} metric drifted", a.epoch);
+        }
+    }
+
+    #[test]
+    fn eval_cadence_skips_intermediate_epochs_and_keeps_the_final_one() {
+        let data = lp_dataset();
+        let mut trainer = lp_trainer(0);
+        trainer.train.epochs = 3;
+        let report = trainer.with_eval_every(3).train_in_memory(&data).unwrap();
+        assert!(report.epochs[0].metric.is_nan());
+        assert!(report.epochs[1].metric.is_nan());
+        assert!(report.epochs[2].metric.is_finite());
+    }
+
+    #[test]
+    fn epoch_hook_fires_once_per_epoch() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let data = lp_dataset();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&calls);
+        let report = lp_trainer(0)
+            .with_epoch_hook(move |e| {
+                assert!(e.examples > 0);
+                seen.fetch_add(1, Ordering::SeqCst);
+            })
+            .train_in_memory(&data)
+            .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), report.epochs.len());
+    }
+
+    #[test]
+    fn deprecated_trainer_aliases_still_construct() {
+        #![allow(deprecated)]
+        let t: LinkPredictionTrainer =
+            LinkPredictionTrainer::new(ModelConfig::paper_distmult(8), TrainConfig::quick(1, 1));
+        assert_eq!(t.train.epochs, 1);
+        let t: NodeClassificationTrainer = NodeClassificationTrainer::new(
+            ModelConfig::paper_node_classification(16, 8),
+            TrainConfig::quick(1, 2),
+        );
+        assert_eq!(t.train.seed, 2);
     }
 
     #[test]
     fn read_all_embeddings_reassembles_by_node_id() {
-        use marius_graph::Partitioner;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(2);
         let partitioner = Partitioner::new(3).unwrap();
         let assignment = partitioner.random(9, &mut rng);
@@ -103,6 +674,36 @@ mod tests {
         let flat = read_all_embeddings(&store, &assignment, dim).unwrap();
         for n in 0..9usize {
             assert_eq!(flat[n * dim], n as f32);
+        }
+    }
+
+    #[test]
+    fn read_all_embeddings_handles_contiguous_and_mixed_partitions() {
+        use marius_graph::PartitionAssignment;
+        // Partition 0: nodes {0,1,2,7} (a run of three plus a gap);
+        // partition 1: nodes {3,4,5,6} (fully contiguous).
+        let assignment = PartitionAssignment::from_vec(vec![0, 0, 0, 1, 1, 1, 1, 0], 2).unwrap();
+        let store = PartitionStore::open_temp("read-all-mixed").unwrap();
+        store.clear().unwrap();
+        let dim = 3usize;
+        for p in 0..2u32 {
+            let nodes = assignment.nodes_in(p);
+            let values: Vec<f32> = nodes
+                .iter()
+                .flat_map(|&n| (0..dim).map(move |d| n as f32 * 10.0 + d as f32))
+                .collect();
+            let state = vec![0.0; values.len()];
+            store.write_partition(p, &values, &state).unwrap();
+        }
+        let flat = read_all_embeddings(&store, &assignment, dim).unwrap();
+        for n in 0..8usize {
+            for d in 0..dim {
+                assert_eq!(
+                    flat[n * dim + d],
+                    n as f32 * 10.0 + d as f32,
+                    "node {n} dim {d}"
+                );
+            }
         }
     }
 }

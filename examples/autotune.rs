@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --release --example autotune`
 
-use marius_baselines::AwsInstance;
-use marius_graph::datasets::{DatasetSpec, Task};
-use marius_storage::auto_tune;
+use marius::baselines::AwsInstance;
+use marius::graph::datasets::{DatasetSpec, Task};
+use marius::storage::auto_tune;
 
 fn main() {
     let block_size = 128 * 1024u64; // EBS effective block size used in the paper.

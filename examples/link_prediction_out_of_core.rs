@@ -3,12 +3,14 @@
 //! Trains the same GraphSage + DistMult model on an FB15k-237-shaped graph three
 //! ways — full graph in memory, disk-based with COMET, disk-based with the
 //! greedy BETA policy — and prints the per-epoch MRR and IO so the accuracy gap
-//! the paper describes (§5.1, Table 8) is visible directly.
+//! the paper describes (§5.1, Table 8) is visible directly. The three runs are
+//! three `marius::Session`s over the same dataset, differing only in their
+//! `Storage` selection.
 //!
 //! Run with: `cargo run --release --example link_prediction_out_of_core`
 
-use marius_core::{DiskConfig, LinkPredictionTrainer, ModelConfig, TrainConfig};
-use marius_graph::datasets::{DatasetSpec, ScaledDataset};
+use marius::graph::datasets::{DatasetSpec, ScaledDataset};
+use marius::{DiskConfig, ModelConfig, Session, Storage, TrainConfig};
 
 fn main() {
     let spec = DatasetSpec::fb15k_237().scaled(0.05);
@@ -24,27 +26,34 @@ fn main() {
     let mut train = TrainConfig::quick(4, 123);
     train.batch_size = 512;
     train.num_negatives = 128;
-    let trainer = LinkPredictionTrainer::new(model, train);
-
-    println!("== Full graph in memory ==");
-    let mem = trainer.train_in_memory(&data);
-    println!("{}", mem.to_table());
 
     // A buffer holding a quarter of the partitions, as in the paper's Table 8 setup.
     let partitions = 16u32;
     let capacity = 4usize;
 
-    println!("== Disk-based, COMET policy ==");
-    let comet = trainer
-        .train_disk(&data, &DiskConfig::comet(partitions, capacity))
-        .expect("disk training");
-    println!("{}", comet.to_table());
+    let run = |label: &str, storage: Storage| {
+        println!("== {label} ==");
+        let mut session = Session::builder()
+            .dataset(data.clone())
+            .model(model.clone())
+            .train(train.clone())
+            .storage(storage)
+            .build()
+            .expect("valid session configuration");
+        let report = session.train().expect("training");
+        println!("{}", report.to_table());
+        report
+    };
 
-    println!("== Disk-based, BETA policy (prior state of the art) ==");
-    let beta = trainer
-        .train_disk(&data, &DiskConfig::beta(partitions, capacity))
-        .expect("disk training");
-    println!("{}", beta.to_table());
+    let mem = run("Full graph in memory", Storage::InMemory);
+    let comet = run(
+        "Disk-based, COMET policy",
+        Storage::Disk(DiskConfig::comet(partitions, capacity)),
+    );
+    let beta = run(
+        "Disk-based, BETA policy (prior state of the art)",
+        Storage::Disk(DiskConfig::beta(partitions, capacity)),
+    );
 
     println!("\nSummary (MRR):");
     println!("  in-memory : {:.4}", mem.final_metric());

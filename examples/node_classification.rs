@@ -1,5 +1,7 @@
 //! Node classification with a three-layer GraphSage GNN, in memory and
-//! out-of-core (the §5.2 training-node caching policy).
+//! out-of-core (the §5.2 training-node caching policy), through the
+//! `marius::Session` facade with the task switched to
+//! [`marius::NodeClassificationTask`].
 //!
 //! Uses an OGBN-Arxiv-shaped synthetic graph. The disk run partitions the graph,
 //! caches the partitions holding labeled training nodes in the buffer for the
@@ -8,8 +10,8 @@
 //!
 //! Run with: `cargo run --release --example node_classification`
 
-use marius_core::{DiskConfig, ModelConfig, NodeClassificationTrainer, TrainConfig};
-use marius_graph::datasets::{DatasetSpec, ScaledDataset};
+use marius::graph::datasets::{DatasetSpec, ScaledDataset};
+use marius::{DiskConfig, ModelConfig, NodeClassificationTask, Session, Storage, TrainConfig};
 
 fn main() {
     let spec = DatasetSpec::ogbn_arxiv().scaled(0.02);
@@ -28,17 +30,27 @@ fn main() {
     model.fanouts = vec![10, 10];
     let mut train = TrainConfig::quick(3, 7);
     train.batch_size = 256;
-    let trainer = NodeClassificationTrainer::new(model, train);
 
-    println!("== In-memory training (M-GNN_Mem) ==");
-    let mem = trainer.train_in_memory(&data);
-    println!("{}", mem.to_table());
+    let run = |label: &str, storage: Storage| {
+        println!("== {label} ==");
+        let mut session = Session::builder()
+            .task(NodeClassificationTask)
+            .dataset(data.clone())
+            .model(model.clone())
+            .train(train.clone())
+            .storage(storage)
+            .build()
+            .expect("valid session configuration");
+        let report = session.train().expect("training");
+        println!("{}", report.to_table());
+        report
+    };
 
-    println!("== Disk-based training with training-node caching (M-GNN_Disk) ==");
-    let disk = trainer
-        .train_disk(&data, &DiskConfig::node_cache(8, 6))
-        .expect("disk training");
-    println!("{}", disk.to_table());
+    let mem = run("In-memory training (M-GNN_Mem)", Storage::InMemory);
+    let disk = run(
+        "Disk-based training with training-node caching (M-GNN_Disk)",
+        Storage::Disk(DiskConfig::node_cache(8, 6)),
+    );
 
     println!(
         "accuracy: in-memory {:.4} vs disk {:.4}; disk read {:.1} MiB/epoch",

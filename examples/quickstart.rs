@@ -1,4 +1,5 @@
-//! Quickstart: train a GraphSage + DistMult link-prediction model in memory.
+//! Quickstart: train a GraphSage + DistMult link-prediction model through the
+//! `marius::Session` facade.
 //!
 //! Generates a small synthetic knowledge graph (an FB15k-237-shaped dataset at
 //! 5% scale), trains for a few epochs with the full graph in memory, and prints
@@ -7,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use marius_core::{LinkPredictionTrainer, ModelConfig, TrainConfig};
-use marius_graph::datasets::{DatasetSpec, ScaledDataset};
+use marius::graph::datasets::{DatasetSpec, ScaledDataset};
+use marius::{ModelConfig, Session, Storage, TrainConfig};
 
 fn main() {
     let spec = DatasetSpec::fb15k_237().scaled(0.05);
@@ -24,11 +25,20 @@ fn main() {
     train.num_negatives = 128;
     train.eval_negatives = 200;
 
-    let trainer = LinkPredictionTrainer::new(model, train);
-    let report = trainer.train_in_memory(&data);
+    let mut session = Session::builder()
+        .dataset(data)
+        .model(model)
+        .train(train)
+        .storage(Storage::InMemory)
+        .on_epoch(|e| println!("epoch {}: loss {:.4}, MRR {:.4}", e.epoch, e.loss, e.metric))
+        .build()
+        .expect("valid session configuration");
+
+    let report = session.train().expect("in-memory training");
     println!("{}", report.to_table());
     println!(
-        "Final MRR after {} epochs: {:.4} (avg epoch time {:.2}s)",
+        "Final {} after {} epochs: {:.4} (avg epoch time {:.2}s)",
+        session.metric_name(),
         report.epochs.len(),
         report.final_metric(),
         report.avg_epoch_time().as_secs_f64()

@@ -1,1 +1,466 @@
-//! Workspace-level integration test and example support for the MariusGNN reproduction.
+//! `marius` — the public facade of the MariusGNN reproduction.
+//!
+//! This crate re-exports the whole workspace and wraps the task-generic
+//! training engine of [`marius_core`] behind one entry point: the [`Session`]
+//! builder. A session owns a dataset, a model configuration, a storage
+//! selection (in-memory or out-of-core) and an optional pipelined runtime,
+//! and runs training/evaluation with eval-cadence and checkpoint hooks:
+//!
+//! ```no_run
+//! use marius::{ModelConfig, Session, Storage, TrainConfig};
+//! use marius::graph::datasets::{DatasetSpec, ScaledDataset};
+//!
+//! let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.05), 42);
+//! let mut session = Session::builder()
+//!     .dataset(data)
+//!     .model(ModelConfig::paper_link_prediction_graphsage(32))
+//!     .train(TrainConfig::quick(5, 42))
+//!     .storage(Storage::Disk(marius::DiskConfig::comet(16, 4)))
+//!     .pipeline(marius::PipelineConfig::with_workers(2))
+//!     .build()
+//!     .expect("valid session");
+//! let report = session.train().expect("training succeeds");
+//! println!("{}", report.to_table());
+//! ```
+//!
+//! Tasks are selected with [`SessionBuilder::task`]; link prediction is the
+//! default and [`NodeClassificationTask`] is the other built-in workload. Any
+//! type implementing [`Task`] plugs into the same machinery.
+//!
+//! # Workspace map
+//!
+//! * [`tensor`] / [`gnn`] — dense kernels, layers, decoders, optimizers.
+//! * [`graph`] — edge lists, CSR subgraphs, partitioning, synthetic datasets.
+//! * [`sampling`] — DENSE multi-hop sampling and negative sampling.
+//! * [`storage`] — the partition store/buffer and replacement policies
+//!   (COMET, BETA, training-node caching).
+//! * [`pipeline`] — the staged runtime overlapping disk IO, batch
+//!   construction and compute.
+//! * [`core`] — models, the [`Task`] trait and the generic
+//!   [`Trainer`]`<T>` this facade wraps.
+//! * [`baselines`] — DGL/PyG-style cost models used by the benchmark
+//!   harnesses.
+
+pub use marius_baselines as baselines;
+pub use marius_core as core;
+pub use marius_gnn as gnn;
+pub use marius_graph as graph;
+pub use marius_pipeline as pipeline;
+pub use marius_sampling as sampling;
+pub use marius_storage as storage;
+pub use marius_tensor as tensor;
+
+pub use marius_core::{
+    DiskConfig, EncoderKind, EpochHook, EpochReport, ExperimentReport, LinkPredictionTask,
+    ModelConfig, NodeClassificationTask, PipelineConfig, PolicyKind, Task, TrainConfig, Trainer,
+};
+#[allow(deprecated)]
+pub use marius_core::{LinkPredictionTrainer, NodeClassificationTrainer};
+pub use marius_storage::{IoCostModel, Result, StorageError};
+
+use marius_graph::datasets::ScaledDataset;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Where base representations live during training.
+#[derive(Debug, Clone)]
+pub enum Storage {
+    /// The full graph and all representations stay in memory (M-GNN_Mem).
+    InMemory,
+    /// Out-of-core training over a partitioned on-disk layout (M-GNN_Disk),
+    /// driven by the disk configuration's replacement policy.
+    Disk(DiskConfig),
+}
+
+/// Builder for [`Session`]. Obtain one with [`Session::builder`].
+pub struct SessionBuilder<T: Task = LinkPredictionTask> {
+    task: T,
+    dataset: Option<ScaledDataset>,
+    model: Option<ModelConfig>,
+    train: TrainConfig,
+    storage: Storage,
+    pipeline: PipelineConfig,
+    emulated_device: Option<IoCostModel>,
+    eval_every: usize,
+    epoch_hook: Option<EpochHook>,
+    checkpoint: Option<(usize, PathBuf)>,
+}
+
+impl Default for SessionBuilder<LinkPredictionTask> {
+    fn default() -> Self {
+        SessionBuilder::with_task(LinkPredictionTask)
+    }
+}
+
+impl<T: Task> SessionBuilder<T> {
+    /// Starts a builder for an explicit task value.
+    pub fn with_task(task: T) -> Self {
+        SessionBuilder {
+            task,
+            dataset: None,
+            model: None,
+            train: TrainConfig::default(),
+            storage: Storage::InMemory,
+            pipeline: PipelineConfig::disabled(),
+            emulated_device: None,
+            eval_every: 1,
+            epoch_hook: None,
+            checkpoint: None,
+        }
+    }
+
+    /// Switches the session to a different task (e.g.
+    /// [`NodeClassificationTask`]), keeping every other setting.
+    pub fn task<U: Task>(self, task: U) -> SessionBuilder<U> {
+        SessionBuilder {
+            task,
+            dataset: self.dataset,
+            model: self.model,
+            train: self.train,
+            storage: self.storage,
+            pipeline: self.pipeline,
+            emulated_device: self.emulated_device,
+            eval_every: self.eval_every,
+            epoch_hook: self.epoch_hook,
+            checkpoint: self.checkpoint,
+        }
+    }
+
+    /// The dataset to train on (required).
+    pub fn dataset(mut self, data: ScaledDataset) -> Self {
+        self.dataset = Some(data);
+        self
+    }
+
+    /// The model architecture (required).
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Batch/epoch configuration (defaults to [`TrainConfig::default`]).
+    pub fn train(mut self, train: TrainConfig) -> Self {
+        self.train = train;
+        self
+    }
+
+    /// In-memory or out-of-core storage (defaults to [`Storage::InMemory`]).
+    pub fn storage(mut self, storage: Storage) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Enables the staged pipelined runtime for disk-based training.
+    pub fn pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Runs disk training against an emulated IO device instead of the raw
+    /// local filesystem (see `PartitionStore::with_emulated_device`).
+    pub fn emulated_device(mut self, model: IoCostModel) -> Self {
+        self.emulated_device = Some(model);
+        self
+    }
+
+    /// Evaluates the task metric only every `every` epochs (plus the final
+    /// epoch); skipped epochs report `metric = NaN`. Evaluation consumes RNG
+    /// draws, so changing the cadence changes subsequent trajectories.
+    pub fn eval_every(mut self, every: usize) -> Self {
+        self.eval_every = every;
+        self
+    }
+
+    /// Installs a callback invoked after every completed epoch.
+    pub fn on_epoch(mut self, hook: impl Fn(&EpochReport) + Send + Sync + 'static) -> Self {
+        self.epoch_hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Writes a training-progress checkpoint (the
+    /// [`ExperimentReport::to_json`] of all epochs so far) to `path` every
+    /// `every` epochs. The file is rewritten in place; a new training run on
+    /// the same session restarts the accumulated epochs.
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint = Some((every.max(1), path.into()));
+        self
+    }
+
+    /// Validates the configuration and assembles the [`Session`].
+    pub fn build(self) -> Result<Session<T>> {
+        let data = self.dataset.ok_or_else(|| StorageError::InvalidPlan {
+            reason: "Session requires a dataset (SessionBuilder::dataset)".into(),
+        })?;
+        let model = self.model.ok_or_else(|| StorageError::InvalidPlan {
+            reason: "Session requires a model configuration (SessionBuilder::model)".into(),
+        })?;
+        // Fail fast on a policy/task mismatch instead of at train() time.
+        if let Storage::Disk(disk) = &self.storage {
+            self.task.disk_label(disk)?;
+        }
+
+        let total_epochs = self.train.epochs;
+        let mut trainer = Trainer::with_task(self.task, model, self.train)
+            .with_pipeline(self.pipeline)
+            .with_eval_every(self.eval_every);
+        if let Some(io) = self.emulated_device {
+            trainer = trainer.with_emulated_device(io);
+        }
+
+        // Compose the user hook with the checkpoint writer: epochs accumulate
+        // in a shared report and the JSON is rewritten on the cadence (and
+        // always after the final epoch, so the file never misses the tail of
+        // a run whose epoch count is not a cadence multiple).
+        let user_hook = self.epoch_hook;
+        match self.checkpoint {
+            Some((every, path)) => {
+                let acc: Arc<Mutex<ExperimentReport>> = Arc::new(Mutex::new(
+                    ExperimentReport::new("checkpoint", data.spec.name.clone()),
+                ));
+                trainer = trainer.with_epoch_hook(move |epoch| {
+                    if let Some(hook) = &user_hook {
+                        hook(epoch);
+                    }
+                    let mut report = acc.lock().expect("checkpoint state poisoned");
+                    if epoch.epoch == 0 {
+                        report.epochs.clear();
+                    }
+                    report.epochs.push(epoch.clone());
+                    if report.epochs.len().is_multiple_of(every) || epoch.epoch + 1 == total_epochs
+                    {
+                        if let Err(e) = std::fs::write(&path, report.to_json()) {
+                            eprintln!(
+                                "warning: could not write checkpoint {}: {e}",
+                                path.display()
+                            );
+                        }
+                    }
+                });
+            }
+            None => {
+                if let Some(hook) = user_hook {
+                    trainer = trainer.with_epoch_hook(hook);
+                }
+            }
+        }
+
+        Ok(Session {
+            trainer,
+            data,
+            storage: self.storage,
+            last_report: None,
+        })
+    }
+}
+
+/// A configured training session: the single public entry point of the
+/// facade. See the crate docs for a usage example.
+pub struct Session<T: Task> {
+    trainer: Trainer<T>,
+    data: ScaledDataset,
+    storage: Storage,
+    last_report: Option<ExperimentReport>,
+}
+
+impl Session<LinkPredictionTask> {
+    /// Starts building a session (link prediction by default; switch with
+    /// [`SessionBuilder::task`]).
+    pub fn builder() -> SessionBuilder<LinkPredictionTask> {
+        SessionBuilder::default()
+    }
+}
+
+impl<T: Task> Session<T> {
+    /// Trains per the session's configuration and returns (and caches) the
+    /// experiment report.
+    pub fn train(&mut self) -> Result<ExperimentReport> {
+        let report = match &self.storage {
+            Storage::InMemory => self.trainer.train_in_memory(&self.data),
+            Storage::Disk(disk) => self.trainer.train_disk(&self.data, disk),
+        }?;
+        self.last_report = Some(report.clone());
+        Ok(report)
+    }
+
+    /// The task metric (MRR / accuracy) of the most recent training run,
+    /// training first if the session has not run yet.
+    pub fn evaluate(&mut self) -> Result<f64> {
+        if self.last_report.is_none() {
+            self.train()?;
+        }
+        Ok(self
+            .last_report
+            .as_ref()
+            .expect("populated by train() above")
+            .final_metric())
+    }
+
+    /// The report of the most recent [`Session::train`] call, if any.
+    pub fn last_report(&self) -> Option<&ExperimentReport> {
+        self.last_report.as_ref()
+    }
+
+    /// The human-readable name of the task metric ("MRR", "accuracy").
+    pub fn metric_name(&self) -> &'static str {
+        self.trainer.task.metric_name()
+    }
+
+    /// The dataset this session trains on.
+    pub fn dataset(&self) -> &ScaledDataset {
+        &self.data
+    }
+
+    /// The underlying trainer (for advanced configuration inspection).
+    pub fn trainer(&self) -> &Trainer<T> {
+        &self.trainer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marius_graph::datasets::DatasetSpec;
+
+    fn tiny_lp() -> ScaledDataset {
+        ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.01), 5)
+    }
+
+    fn quick_train() -> TrainConfig {
+        let mut train = TrainConfig::quick(2, 5);
+        train.batch_size = 128;
+        train.num_negatives = 16;
+        train.eval_negatives = 32;
+        train
+    }
+
+    fn expect_err<T>(result: Result<T>) -> StorageError {
+        match result {
+            Err(e) => e,
+            Ok(_) => panic!("expected the session builder to reject the configuration"),
+        }
+    }
+
+    #[test]
+    fn builder_requires_dataset_and_model() {
+        let err = expect_err(Session::builder().build());
+        assert!(format!("{err}").contains("dataset"));
+        let err = expect_err(Session::builder().dataset(tiny_lp()).build());
+        assert!(format!("{err}").contains("model"));
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_policy_up_front() {
+        let err = expect_err(
+            Session::builder()
+                .dataset(tiny_lp())
+                .model(ModelConfig::paper_distmult(8))
+                .storage(Storage::Disk(DiskConfig::node_cache(8, 4)))
+                .build(),
+        );
+        assert!(format!("{err}").contains("node classification"));
+    }
+
+    #[test]
+    fn in_memory_session_trains_and_evaluates() {
+        let mut session = Session::builder()
+            .dataset(tiny_lp())
+            .model(ModelConfig::paper_distmult(8))
+            .train(quick_train())
+            .build()
+            .unwrap();
+        let report = session.train().unwrap();
+        assert_eq!(report.epochs.len(), 2);
+        assert_eq!(session.metric_name(), "MRR");
+        assert_eq!(session.evaluate().unwrap(), report.final_metric());
+        assert!(session.last_report().is_some());
+    }
+
+    #[test]
+    fn evaluate_triggers_training_when_needed() {
+        let mut session = Session::builder()
+            .dataset(tiny_lp())
+            .model(ModelConfig::paper_distmult(8))
+            .train(quick_train())
+            .build()
+            .unwrap();
+        let metric = session.evaluate().unwrap();
+        assert!(metric > 0.0);
+        assert_eq!(session.last_report().unwrap().epochs.len(), 2);
+    }
+
+    #[test]
+    fn node_classification_session_via_task_switch() {
+        let spec = DatasetSpec::ogbn_arxiv().scaled(0.006);
+        let data = ScaledDataset::generate(&spec, 8);
+        let mut model = ModelConfig::paper_node_classification(spec.feat_dim, 12);
+        model.num_layers = 1;
+        model.fanouts = vec![5];
+        let mut train = TrainConfig::quick(1, 8);
+        train.batch_size = 128;
+        let mut session = Session::builder()
+            .task(NodeClassificationTask)
+            .dataset(data)
+            .model(model)
+            .train(train)
+            .storage(Storage::Disk(DiskConfig::node_cache(8, 6)))
+            .build()
+            .unwrap();
+        let report = session.train().unwrap();
+        assert_eq!(session.metric_name(), "accuracy");
+        assert!(report.final_metric() > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_and_epoch_hooks_fire() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let dir = std::env::temp_dir().join(format!(
+            "marius-session-ckpt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&calls);
+        let mut session = Session::builder()
+            .dataset(tiny_lp())
+            .model(ModelConfig::paper_distmult(8))
+            .train(quick_train())
+            .on_epoch(move |_| {
+                seen.fetch_add(1, Ordering::SeqCst);
+            })
+            .checkpoint_to(&path, 1)
+            .build()
+            .unwrap();
+        session.train().unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"system\":\"checkpoint\""));
+        assert_eq!(json.matches("\"epoch\":").count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_flushes_the_final_epoch_off_cadence() {
+        let dir = std::env::temp_dir().join(format!(
+            "marius-session-ckpt-tail-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        let mut train = quick_train();
+        train.epochs = 3; // not a multiple of the cadence below
+        let mut session = Session::builder()
+            .dataset(tiny_lp())
+            .model(ModelConfig::paper_distmult(8))
+            .train(train)
+            .checkpoint_to(&path, 2)
+            .build()
+            .unwrap();
+        session.train().unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(json.matches("\"epoch\":").count(), 3, "final epoch missing");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

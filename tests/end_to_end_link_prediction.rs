@@ -2,26 +2,28 @@
 //! dataset generation → partitioned on-disk storage → COMET/BETA epoch plans →
 //! DENSE sampling → GNN training → MRR evaluation.
 
-use marius_core::{DiskConfig, LinkPredictionTrainer, ModelConfig, TrainConfig};
+use marius_core::{DiskConfig, LinkPredictionTask, ModelConfig, TrainConfig, Trainer};
 use marius_graph::datasets::{DatasetSpec, ScaledDataset};
 
 fn dataset() -> ScaledDataset {
     ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.02), 31)
 }
 
-fn trainer(epochs: usize) -> LinkPredictionTrainer {
+fn trainer(epochs: usize) -> Trainer<LinkPredictionTask> {
     let model = ModelConfig::paper_link_prediction_graphsage(16).shrunk(8, 16);
     let mut train = TrainConfig::quick(epochs, 31);
     train.batch_size = 256;
     train.num_negatives = 64;
     train.eval_negatives = 100;
-    LinkPredictionTrainer::new(model, train)
+    Trainer::new(model, train)
 }
 
 #[test]
 fn in_memory_link_prediction_learns_beyond_random() {
     let data = dataset();
-    let report = trainer(3).train_in_memory(&data);
+    let report = trainer(3)
+        .train_in_memory(&data)
+        .expect("in-memory training");
     // A random ranker over 100 negatives scores ~0.05 MRR; the trained model
     // must do at least twice as well after three epochs.
     assert!(
@@ -37,7 +39,7 @@ fn in_memory_link_prediction_learns_beyond_random() {
 fn disk_based_comet_training_approaches_in_memory_quality() {
     let data = dataset();
     let t = trainer(3);
-    let mem = t.train_in_memory(&data);
+    let mem = t.train_in_memory(&data).expect("in-memory training");
     let comet = t
         .train_disk(&data, &DiskConfig::comet(8, 4))
         .expect("disk training");
@@ -67,7 +69,7 @@ fn decoder_only_distmult_trains_out_of_core_with_both_policies() {
     let mut train = TrainConfig::quick(2, 17);
     train.batch_size = 256;
     train.num_negatives = 64;
-    let t = LinkPredictionTrainer::new(model, train);
+    let t: Trainer<LinkPredictionTask> = Trainer::new(model, train);
     let comet = t
         .train_disk(&data, &DiskConfig::comet(8, 4))
         .expect("disk training");

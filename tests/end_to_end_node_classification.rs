@@ -1,28 +1,30 @@
 //! End-to-end integration tests for node classification: fixed features,
 //! three-layer sampled GraphSage, in-memory versus the §5.2 caching policy.
 
-use marius_core::{DiskConfig, ModelConfig, NodeClassificationTrainer, TrainConfig};
+use marius_core::{DiskConfig, ModelConfig, NodeClassificationTask, TrainConfig, Trainer};
 use marius_graph::datasets::{DatasetSpec, ScaledDataset};
 
 fn dataset() -> ScaledDataset {
     ScaledDataset::generate(&DatasetSpec::ogbn_arxiv().scaled(0.01), 77)
 }
 
-fn trainer(epochs: usize) -> NodeClassificationTrainer {
+fn trainer(epochs: usize) -> Trainer<NodeClassificationTask> {
     let spec_dim = DatasetSpec::ogbn_arxiv().feat_dim;
     let mut model = ModelConfig::paper_node_classification(spec_dim, 24);
     model.num_layers = 2;
     model.fanouts = vec![10, 5];
     let mut train = TrainConfig::quick(epochs, 77);
     train.batch_size = 256;
-    NodeClassificationTrainer::new(model, train)
+    Trainer::new(model, train)
 }
 
 #[test]
 fn in_memory_node_classification_beats_chance_substantially() {
     let data = dataset();
     let chance = 1.0 / data.spec.num_classes.unwrap() as f64;
-    let report = trainer(3).train_in_memory(&data);
+    let report = trainer(3)
+        .train_in_memory(&data)
+        .expect("in-memory training");
     assert!(
         report.final_metric() > 3.0 * chance,
         "accuracy {} vs chance {}",
@@ -35,7 +37,7 @@ fn in_memory_node_classification_beats_chance_substantially() {
 fn disk_based_node_classification_matches_in_memory_closely() {
     let data = dataset();
     let t = trainer(3);
-    let mem = t.train_in_memory(&data);
+    let mem = t.train_in_memory(&data).expect("in-memory training");
     let disk = t
         .train_disk(&data, &DiskConfig::node_cache(8, 6))
         .expect("disk training");

@@ -1,6 +1,10 @@
 //! Integration tests for the staged training runtime (`marius-pipeline`)
 //! driven through the public trainer API: the pipelined executor must be a
 //! drop-in replacement for the sequential one.
+// Deliberately exercises the deprecated `LinkPredictionTrainer` /
+// `NodeClassificationTrainer` aliases to pin their compatibility with the
+// generic `Trainer<T>` they now point at.
+#![allow(deprecated)]
 //!
 //! * With one sampling worker and a fixed seed, the pipelined trainer must
 //!   reproduce the sequential trainer's per-epoch loss trajectory

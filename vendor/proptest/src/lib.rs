@@ -1,8 +1,9 @@
 //! Offline subset of the `proptest` property-testing crate.
 //!
-//! Supports the surface this workspace's property tests use: the [`Strategy`]
-//! trait with `prop_map`/`prop_flat_map`, range and tuple strategies,
-//! [`collection::vec`], [`strategy::Just`], `prop_oneof!`, the `proptest!`
+//! Supports the surface this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, [`collection::vec`], [`strategy::Just`], `prop_oneof!`,
+//! the `proptest!`
 //! macro with `#![proptest_config(...)]`, and `prop_assert!`/`prop_assert_eq!`.
 //! Generation is driven by the vendored deterministic `rand` shim; there is no
 //! shrinking — a failing case panics with the generated values, and the
