@@ -1,8 +1,15 @@
 //! Pipeline overlap: epoch wall-time of the sequential disk trainer versus the
 //! staged `marius-pipeline` runtime on the same medium link-prediction
 //! workload. The sequential path pays `IO + sample + compute` per epoch; the
-//! pipelined path overlaps the three stages and should land near their max —
-//! the target for this harness is pipelined < 0.9× sequential wall time.
+//! pipelined path overlaps prefetch, sampling, compute and (since the
+//! asynchronous double-buffered write-back) eviction IO, and should land near
+//! their max — the target for this harness is pipelined < 0.9× sequential
+//! wall time. The `wb_s` column is the time the stage-4 drain spent writing
+//! evicted dirty partitions *off* the compute path; on the sequential rows
+//! that work is inline and buried in `wall_s`.
+//!
+//! Set `MARIUS_BENCH_SMOKE=1` to run a tiny configuration (CI smoke job that
+//! uploads `BENCH_fig_pipeline_overlap.json` as a perf-trajectory artifact).
 
 use marius_bench::{header, seconds, write_bench_json};
 use marius_core::{
@@ -13,13 +20,17 @@ use marius_graph::datasets::{DatasetSpec, ScaledDataset};
 use marius_storage::IoCostModel;
 use std::time::Duration;
 
-fn trainer() -> Trainer<LinkPredictionTask> {
+fn smoke() -> bool {
+    std::env::var("MARIUS_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn trainer(epochs: usize) -> Trainer<LinkPredictionTask> {
     // Two GraphSage layers so CPU-side DENSE sampling carries real weight, as
     // it does for the paper's node-classification configurations.
     let mut model = ModelConfig::paper_link_prediction_graphsage(8).shrunk(8, 8);
     model.num_layers = 2;
     model.fanouts = vec![25, 20];
-    let mut train = TrainConfig::quick(3, 91);
+    let mut train = TrainConfig::quick(epochs, 91);
     train.batch_size = 256;
     train.num_negatives = 32;
     train.eval_negatives = 64;
@@ -34,35 +45,55 @@ fn total_train_time(report: &ExperimentReport) -> Duration {
 
 fn main() {
     header("Pipeline overlap: sequential vs pipelined disk epochs (COMET, p=16, c=4)");
-    let spec = DatasetSpec::fb15k_237().scaled(0.25);
+    let (scale, epochs) = if smoke() { (0.04, 2) } else { (0.25, 3) };
+    let spec = DatasetSpec::fb15k_237().scaled(scale);
     let data = ScaledDataset::generate(&spec, 91);
     println!(
-        "dataset: {} nodes, {} train edges, {} relations\n",
+        "dataset: {} nodes, {} train edges, {} relations{}\n",
         data.num_nodes(),
         data.train_edges.len(),
-        spec.num_relations
+        spec.num_relations,
+        if smoke() { " (smoke config)" } else { "" }
     );
     let disk = DiskConfig::comet(16, 4);
 
-    let sequential = trainer().train_disk(&data, &disk).expect("disk training");
-    let pipelined = trainer()
+    let pipe_config = PipelineConfig {
+        enabled: true,
+        num_sampling_workers: 2,
+        queue_depth: 4,
+        prefetch_depth: 3,
+        ..PipelineConfig::default()
+    };
+
+    let sequential = trainer(epochs)
+        .train_disk(&data, &disk)
+        .expect("disk training");
+    // The PR 2-equivalent pipeline: prefetch and sampling overlap compute,
+    // but eviction write-backs are still paid inline during the swap.
+    let pipelined_sync = trainer(epochs)
         .with_pipeline(PipelineConfig {
-            enabled: true,
-            num_sampling_workers: 2,
-            queue_depth: 4,
-            prefetch_depth: 3,
+            synchronous_writeback: true,
+            ..pipe_config.clone()
         })
+        .train_disk(&data, &disk)
+        .expect("disk training");
+    let pipelined = trainer(epochs)
+        .with_pipeline(pipe_config)
         .train_disk(&data, &disk)
         .expect("disk training");
 
     println!(
-        "{:<12} {:>8} {:>9} {:>10} {:>9} {:>9} {:>9} {:>8}",
-        "path", "epoch", "wall_s", "sample_s", "comp_s", "wait_s", "stall_s", "overlap"
+        "{:<12} {:>8} {:>9} {:>10} {:>9} {:>9} {:>9} {:>7} {:>8}",
+        "path", "epoch", "wall_s", "sample_s", "comp_s", "wait_s", "stall_s", "wb_s", "overlap"
     );
-    for (label, report) in [("sequential", &sequential), ("pipelined", &pipelined)] {
+    for (label, report) in [
+        ("sequential", &sequential),
+        ("pipe-syncwb", &pipelined_sync),
+        ("pipelined", &pipelined),
+    ] {
         for e in &report.epochs {
             println!(
-                "{:<12} {:>8} {:>9} {:>10} {:>9} {:>9} {:>9} {:>8.2}",
+                "{:<12} {:>8} {:>9} {:>10} {:>9} {:>9} {:>9} {:>7} {:>8.2}",
                 label,
                 e.epoch,
                 seconds(e.epoch_time),
@@ -70,19 +101,31 @@ fn main() {
                 seconds(e.compute_time),
                 seconds(e.io_wait_time),
                 seconds(e.stall_time),
+                seconds(e.writeback_time),
                 e.overlap,
             );
         }
     }
+    let wb_total: Duration = pipelined.epochs.iter().map(|e| e.writeback_time).sum();
+    println!(
+        "\nstage-4 drain wrote {} s of evicted partitions off the compute stage \
+         (the sync-WB oracle pays the same IO inline during its swaps)",
+        seconds(wb_total)
+    );
 
     let seq_total = total_train_time(&sequential);
+    let sync_total = total_train_time(&pipelined_sync);
     let pipe_total = total_train_time(&pipelined);
     let ratio = pipe_total.as_secs_f64() / seq_total.as_secs_f64().max(1e-9);
+    let wb_ratio = pipe_total.as_secs_f64() / sync_total.as_secs_f64().max(1e-9);
     println!(
-        "\nsequential total: {} s | pipelined total: {} s | ratio: {:.3}x (target < 0.9x)",
+        "\nsequential total: {} s | pipelined (sync WB): {} s | pipelined: {} s",
         seconds(seq_total),
+        seconds(sync_total),
         seconds(pipe_total),
-        ratio
+    );
+    println!(
+        "pipelined/sequential: {ratio:.3}x (target < 0.9x) | async/sync write-back: {wb_ratio:.3}x (target < 1.0x)"
     );
     println!(
         "loss trajectories identical: {}",
@@ -90,18 +133,29 @@ fn main() {
             .epochs
             .iter()
             .zip(&pipelined.epochs)
-            .all(|(a, b)| a.loss == b.loss)
+            .zip(&pipelined_sync.epochs)
+            .all(|((a, b), c)| a.loss == b.loss && a.loss == c.loss)
     );
     write_bench_json(
         "fig_pipeline_overlap",
-        &[("sequential", &sequential), ("pipelined", &pipelined)],
+        &[
+            ("sequential", &sequential),
+            ("pipelined_sync_writeback", &pipelined_sync),
+            ("pipelined", &pipelined),
+        ],
     );
-    if ratio < 0.9 {
+    if smoke() {
+        // The smoke config exists to record the perf trajectory in CI, where
+        // the workload is too small for the ratios to be meaningful targets.
+        println!("RESULT: SMOKE — trajectory recorded, targets not asserted");
+    } else if ratio < 0.9 && wb_ratio < 1.0 {
         println!(
-            "RESULT: PASS — pipelining hides {:.0}% of epoch time",
-            (1.0 - ratio) * 100.0
+            "RESULT: PASS — pipelining hides {:.0}% of epoch time; async write-back \
+             shaves a further {:.0}% off the sync-WB pipeline",
+            (1.0 - ratio) * 100.0,
+            (1.0 - wb_ratio) * 100.0
         );
     } else {
-        println!("RESULT: FAIL — overlap target not met");
+        println!("RESULT: FAIL — overlap or write-back target not met");
     }
 }

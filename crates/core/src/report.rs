@@ -53,8 +53,16 @@ pub struct EpochReport {
     /// Zero on the sequential path, where every wait is inline.
     pub io_wait_time: Duration,
     /// Pipelined runs only: time the prefetcher and sampling workers spent
-    /// blocked on back-pressure or write-back dependencies.
+    /// blocked on back-pressure or write-back dependencies. The write-back
+    /// drain's idle wait is excluded (it spends most of the epoch waiting
+    /// for work by design); back-pressure *from* the drain shows up in
+    /// `io_wait_time` via the consumer's queue wait.
     pub stall_time: Duration,
+    /// Pipelined runs only: time the write-back drain thread spent writing
+    /// evicted dirty partitions to disk, off the compute path. Zero on the
+    /// sequential path, where eviction writes are inline (and land in
+    /// `epoch_time` directly).
+    pub writeback_time: Duration,
     /// Pipelined runs only: summed per-stage busy time divided by epoch wall
     /// time. Values above 1.0 quantify how much work the stages overlapped;
     /// 0.0 on the sequential path.
@@ -172,7 +180,8 @@ impl ExperimentReport {
             out.push_str(&format!(
                 "{{\"epoch\":{},\"loss\":{},\"metric\":{},\"epoch_time_s\":{},\
                  \"sample_time_s\":{},\"compute_time_s\":{},\"io_time_s\":{},\
-                 \"io_wait_time_s\":{},\"stall_time_s\":{},\"overlap\":{},\
+                 \"io_wait_time_s\":{},\"stall_time_s\":{},\"writeback_time_s\":{},\
+                 \"overlap\":{},\
                  \"io_bytes_read\":{},\"io_bytes_written\":{},\"partition_loads\":{},\
                  \"examples\":{},\"nodes_sampled\":{},\"edges_sampled\":{}}}",
                 e.epoch,
@@ -184,6 +193,7 @@ impl ExperimentReport {
                 num(e.io_time.as_secs_f64()),
                 num(e.io_wait_time.as_secs_f64()),
                 num(e.stall_time.as_secs_f64()),
+                num(e.writeback_time.as_secs_f64()),
                 num(e.overlap),
                 e.io_bytes_read,
                 e.io_bytes_written,

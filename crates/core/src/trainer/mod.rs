@@ -20,8 +20,10 @@
 //!   [`marius_pipeline::Pipeline`] — a prefetcher thread walks the policy's
 //!   `EpochPlan` ahead of the consumer issuing `PartitionStore` reads, a pool
 //!   of workers builds batches (shuffle, negative sampling, DENSE multi-hop
-//!   sampling), and the calling thread applies `train_prepared` and enqueues
-//!   dirty-partition write-backs — so epoch time approaches the *max* phase.
+//!   sampling), the calling thread applies `train_prepared`, and evicted
+//!   dirty partitions are detached to a write-back drain thread that flushes
+//!   them while the next step computes — the compute stage performs no disk
+//!   IO at all, so epoch time approaches the *max* phase.
 //!
 //! Both disk executors derive every in-epoch random draw from
 //! [`marius_pipeline::step_seed`]`(epoch_seed, step)`, which makes their loss
@@ -356,7 +358,12 @@ impl<T: Task> Trainer<T> {
         )?;
         epoch.partition_loads += report.partition_loads;
         epoch.io_wait_time += report.compute_stall;
+        // The drain's own queue wait (`writeback_stall`) is deliberately not
+        // folded in: that lane idles between one small write burst per step,
+        // so its wait is "no work yet", not back-pressure, and including it
+        // would swamp the stall signal tracked across bench trajectories.
         epoch.stall_time += report.prefetch_stall + report.sample_stall;
+        epoch.writeback_time += report.writeback_busy;
         epoch.overlap = report.overlap_ratio();
         Ok(())
     }

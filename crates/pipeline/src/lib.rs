@@ -4,7 +4,7 @@
 //! The sequential out-of-core trainer pays `IO + sample + compute` per epoch
 //! because every partition swap, every DENSE neighbourhood sample, and every
 //! forward/backward step runs on one thread. This crate turns the epoch into a
-//! three-stage pipeline so the wall time approaches
+//! four-stage pipeline so the wall time approaches
 //! `max(IO, sample, compute)` — the paper's core systems claim:
 //!
 //! ```text
@@ -17,11 +17,11 @@
 //!  │ reads PartitionStore     │              │  `prefetch_depth`
 //!  │ ahead of the consumer    │              ▼
 //!  └──────────────────────────┘   ┌──────────────────────────┐
-//!        ▲ waits for the          │ Stage 2: batch builders  │
-//!        │ write-back of a        │ (`num_sampling_workers`  │
-//!        │ partition's last       │  threads)                │
-//!        │ eviction before        │ shuffle + negative       │
-//!        │ re-reading it          │ sampling + DENSE         │
+//!        ▲ waits for              │ Stage 2: batch builders  │
+//!        │ `writeback ≥ e`       │ (`num_sampling_workers`  │
+//!        │ (e = the partition's   │  threads)                │
+//!        │ last eviction) before  │ shuffle + negative       │
+//!        │ re-reading its file    │ sampling + DENSE         │
 //!        │                        │ multi-hop sampling       │
 //!        │                        └────────────┬─────────────┘
 //!        │                                     │ StepOut::{Begin,Batch,End}
@@ -30,10 +30,30 @@
 //!  ┌─────┴────────────────────────────────────────────────────┐
 //!  │ Stage 3: compute consumer (the calling thread)           │
 //!  │ installs prefetched partitions into the PartitionBuffer, │
-//!  │ applies train_prepared / optimizer updates, and writes   │
-//!  │ dirty partitions back on eviction                        │
+//!  │ detaching evicted dirty partitions (a second buffer      │
+//!  │ generation), publishes `swap = s`, and applies           │
+//!  │ train_prepared / optimizer updates — no disk IO at all   │
+//!  └───────────┬──────────────────────────────────────────────┘
+//!              │ (step, Vec<EvictedPartition>)
+//!              │ bounded, depth = `writeback_depth`
+//!              ▼
+//!  ┌──────────────────────────────────────────────────────────┐
+//!  │ Stage 4: write-back drain (1 thread)                     │
+//!  │ waits for `swap ≥ s`, writes the step's detached dirty   │
+//!  │ partitions to the PartitionStore, marks them drained in  │
+//!  │ the WritebackLedger, publishes `writeback = s`           │
 //!  └──────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! The transition clock carries **two** step watermarks. `swap` — the
+//! highest step whose buffer swap has completed — is published by the
+//! consumer the moment the step's partitions are installed (batches may flow
+//! and the write-back lane may drain that step's detached generation).
+//! `writeback` — the highest step whose detached evictions are durably on
+//! disk — is published by the drain and is what the partition prefetcher
+//! waits on before re-reading an evicted partition's file. Splitting the two
+//! is what removes the last synchronous disk IO from stage 3: under the old
+//! single watermark, eviction writes had to finish inside the swap.
 //!
 //! # Queue semantics
 //!
@@ -59,14 +79,16 @@
 //! # Write-back correctness
 //!
 //! A partition may be evicted at step `e` and re-loaded at a later step `s`.
-//! The prefetcher must not read its file until the consumer has written the
-//! evicted (dirty) copy back, so stage 3 publishes a "transitions completed"
-//! watermark and the prefetcher waits for `watermark ≥ e` before issuing the
-//! read. Edge-bucket files are immutable during an epoch and are prefetched
-//! without synchronisation.
+//! The prefetcher must not read its file until the write-back drain has
+//! landed the detached copy, so it waits for `writeback ≥ e` before issuing
+//! the read. Epoch end and abort both drain the write-back queue completely
+//! before `run_epoch` returns (the drain keeps writing even after an abort),
+//! so no detached update is ever lost and `PartitionBuffer::flush` finds the
+//! ledger empty. Edge-bucket files are immutable during an epoch and are
+//! prefetched without synchronisation.
 
 use marius_graph::{Edge, InMemorySubgraph, NodeId, PartitionId};
-use marius_storage::{PartitionBuffer, Result, StorageError};
+use marius_storage::{EvictedPartition, PartitionBuffer, Result, StorageError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
@@ -90,6 +112,17 @@ pub struct PipelineConfig {
     /// steps of embedding/bucket data may sit in memory ahead of the consumer,
     /// per worker.
     pub prefetch_depth: usize,
+    /// Capacity of the consumer→drain write-back queue: how many steps'
+    /// detached dirty partitions (extra buffer generations) may await their
+    /// disk write-back before the consumer blocks. Bounds the memory held by
+    /// in-flight evictions to `writeback_depth` generations.
+    pub writeback_depth: usize,
+    /// Debug/measurement oracle: when `true`, evicted dirty partitions are
+    /// written back *inline* during the swap (the pre-double-buffering
+    /// behaviour) instead of being detached to the stage-4 drain. Training
+    /// output is identical either way; benches use this to measure what the
+    /// asynchronous write-back buys.
+    pub synchronous_writeback: bool,
 }
 
 impl PipelineConfig {
@@ -118,6 +151,8 @@ impl Default for PipelineConfig {
             num_sampling_workers: 2,
             queue_depth: 4,
             prefetch_depth: 2,
+            writeback_depth: 2,
+            synchronous_writeback: false,
         }
     }
 }
@@ -255,21 +290,17 @@ impl<T> BoundedQueue<T> {
     }
 }
 
-/// The consumer's step-transition watermark the prefetcher synchronises on.
-struct TransitionClock {
-    /// Highest step index whose buffer swap (including eviction write-backs)
-    /// has completed; -1 before the first.
+/// A monotone step watermark one stage publishes and others wait on.
+struct Watermark {
     done: Mutex<i64>,
     advanced: Condvar,
-    abort: AtomicBool,
 }
 
-impl TransitionClock {
+impl Watermark {
     fn new() -> Self {
-        TransitionClock {
+        Watermark {
             done: Mutex::new(-1),
             advanced: Condvar::new(),
-            abort: AtomicBool::new(false),
         }
     }
 
@@ -280,20 +311,49 @@ impl TransitionClock {
         self.advanced.notify_all();
     }
 
-    /// Blocks until the watermark reaches `step` (or an abort). Returns the
-    /// time spent blocked.
-    fn wait_for(&self, step: i64) -> Duration {
+    /// Blocks until the watermark reaches `step` (or `abort` is raised).
+    /// Returns the time spent blocked.
+    fn wait_for(&self, step: i64, abort: &AtomicBool) -> Duration {
         let start = Instant::now();
         let mut done = self.done.lock().expect("clock poisoned");
-        while *done < step && !self.abort.load(Ordering::Relaxed) {
+        while *done < step && !abort.load(Ordering::Relaxed) {
             done = self.advanced.wait(done).expect("clock poisoned");
         }
         start.elapsed()
     }
+}
+
+/// The step-transition clock the pipeline's stages synchronise on. The single
+/// watermark of the inline-write-back design is split in two:
+///
+/// * `swap` — highest step whose buffer swap has completed (its partitions
+///   are installed, its batches may be consumed, and its detached evictions
+///   may be drained);
+/// * `writeback` — highest step whose detached dirty evictions are durably
+///   on disk (the partition prefetcher may re-read their files).
+///
+/// `writeback` trails `swap`; the gap between the two is exactly the window
+/// in which a second generation of evicted buffers is alive off the compute
+/// path.
+struct TransitionClock {
+    swap: Watermark,
+    writeback: Watermark,
+    abort: AtomicBool,
+}
+
+impl TransitionClock {
+    fn new() -> Self {
+        TransitionClock {
+            swap: Watermark::new(),
+            writeback: Watermark::new(),
+            abort: AtomicBool::new(false),
+        }
+    }
 
     fn abort(&self) {
         self.abort.store(true, Ordering::Relaxed);
-        self.advanced.notify_all();
+        self.swap.advanced.notify_all();
+        self.writeback.advanced.notify_all();
     }
 }
 
@@ -304,6 +364,9 @@ struct StageClocks {
     prefetch_stall: AtomicU64,
     sample_busy: AtomicU64,
     sample_stall: AtomicU64,
+    writeback_busy: AtomicU64,
+    writeback_stall: AtomicU64,
+    writeback_parts: AtomicU64,
 }
 
 fn add_nanos(cell: &AtomicU64, d: Duration) {
@@ -331,10 +394,19 @@ pub struct PipelineReport {
     pub sample_busy: Duration,
     /// Stage-2 time blocked on empty input or full output queues.
     pub sample_stall: Duration,
-    /// Stage-3 time spent in buffer swaps, compute, and write-backs.
+    /// Stage-3 time spent in buffer swaps and compute. Eviction write-backs
+    /// are detached to stage 4, so (unlike earlier revisions) no disk IO is
+    /// accounted here.
     pub compute_busy: Duration,
-    /// Stage-3 time blocked waiting for upstream stages.
+    /// Stage-3 time blocked waiting for upstream stages or for write-back
+    /// back-pressure (the drain's bounded queue being full).
     pub compute_stall: Duration,
+    /// Stage-4 time spent writing detached dirty partitions to the store.
+    pub writeback_busy: Duration,
+    /// Stage-4 time blocked waiting for evictions to drain (idle lane).
+    pub writeback_stall: Duration,
+    /// Dirty partitions drained asynchronously by stage 4.
+    pub partitions_written_back: usize,
     /// Wall-clock duration of the epoch.
     pub wall_time: Duration,
 }
@@ -344,7 +416,7 @@ impl PipelineReport {
     /// the stages effectively ran sequentially; values above 1.0 quantify how
     /// much work the pipeline overlapped.
     pub fn overlap_ratio(&self) -> f64 {
-        let busy = self.prefetch_busy + self.sample_busy + self.compute_busy;
+        let busy = self.prefetch_busy + self.sample_busy + self.compute_busy + self.writeback_busy;
         if self.wall_time.is_zero() {
             return 0.0;
         }
@@ -457,6 +529,12 @@ impl Pipeline {
             .collect();
         let parts_queue: BoundedQueue<Result<StepParts>> =
             BoundedQueue::new(self.config.prefetch_depth.max(1));
+        // Consumer → write-back drain: one item per step, even when the step
+        // evicted nothing, so the `writeback` watermark advances in step
+        // order and every re-read dependency eventually unblocks.
+        let wb_queue: BoundedQueue<(usize, Vec<EvictedPartition>)> =
+            BoundedQueue::new(self.config.writeback_depth.max(1));
+        let ledger = buffer.writeback_ledger();
         let clock = TransitionClock::new();
         let clocks = StageClocks::default();
 
@@ -474,9 +552,9 @@ impl Pipeline {
                 let store = &store;
                 let assignment = &assignment;
                 scope.spawn(move || {
-                    for (s, set) in plan.partition_sets.iter().enumerate() {
+                    'steps: for (s, set) in plan.partition_sets.iter().enumerate() {
                         if clock.abort.load(Ordering::Relaxed) {
-                            return;
+                            break 'steps;
                         }
                         let busy_start = Instant::now();
                         let step_in = (|| -> Result<StepIn> {
@@ -510,17 +588,20 @@ impl Pipeline {
                         match step_in {
                             Ok(item) => match step_queues[s % workers].push(item) {
                                 Some(waited) => add_nanos(&clocks.prefetch_stall, waited),
-                                None => return, // closed: epoch aborted
+                                None => break 'steps, // closed: epoch aborted
                             },
                             Err(e) => {
                                 // Surface the error through the worker queue
                                 // that owns this step so the consumer sees it
                                 // in order, then stop prefetching.
                                 batch_queues[s % workers].push(StepOut::Err(e));
-                                return;
+                                break 'steps;
                             }
                         }
                     }
+                    // Close on every exit path (including aborts raised by
+                    // another stage) so the stage-2 workers never block on a
+                    // producer that has stopped.
                     for q in step_queues.iter() {
                         q.close();
                     }
@@ -528,9 +609,10 @@ impl Pipeline {
             }
 
             // ---- Stage 1b: the partition prefetcher thread. --------------
-            // Partition files are rewritten on eviction, so each read waits
-            // for the consumer's transition watermark to pass the partition's
-            // last eviction before it is issued (write-back ordering).
+            // Partition files are rewritten by the write-back drain after an
+            // eviction, so each read waits for the *write-back* watermark to
+            // pass the partition's last eviction before it is issued: only
+            // then are the file's bytes the evicted generation's, not stale.
             {
                 let parts_queue = &parts_queue;
                 let clock = &clock;
@@ -538,16 +620,19 @@ impl Pipeline {
                 let io_plan = &io_plan;
                 let store = &store;
                 scope.spawn(move || {
-                    for s in 0..plan.partition_sets.len() {
+                    'steps: for s in 0..plan.partition_sets.len() {
                         if clock.abort.load(Ordering::Relaxed) {
-                            return;
+                            break 'steps;
                         }
                         let dep = io_plan.read_after[s];
                         if dep >= 0 {
-                            add_nanos(&clocks.prefetch_stall, clock.wait_for(dep));
+                            add_nanos(
+                                &clocks.prefetch_stall,
+                                clock.writeback.wait_for(dep, &clock.abort),
+                            );
                         }
                         if clock.abort.load(Ordering::Relaxed) {
-                            return;
+                            break 'steps;
                         }
                         let busy_start = Instant::now();
                         let parts = (|| -> Result<Vec<PartitionPayload>> {
@@ -562,15 +647,64 @@ impl Pipeline {
                         let failed = parts.is_err();
                         match parts_queue.push(parts.map(|p| (s, p))) {
                             Some(waited) => add_nanos(&clocks.prefetch_stall, waited),
-                            None => return,
+                            None => break 'steps,
                         }
                         if failed {
-                            return;
+                            break 'steps;
                         }
                     }
+                    // Close on every exit path so the consumer never blocks
+                    // on a prefetcher that has stopped.
                     parts_queue.close();
                 });
             }
+
+            // ---- Stage 4: the write-back drain thread. -------------------
+            // Receives each step's detached dirty evictions from the consumer
+            // and writes them to the store off the compute path. The drain
+            // keeps writing even after an abort (losing detached updates, or
+            // leaving stale bytes unannounced, would corrupt the store), and
+            // only stops writing after a disk error of its own — from then on
+            // it still marks payloads drained so nothing waits forever.
+            let wb_handle = {
+                let wb_queue = &wb_queue;
+                let clock = &clock;
+                let clocks = &clocks;
+                let store = &store;
+                let ledger = Arc::clone(&ledger);
+                scope.spawn(move || -> Result<()> {
+                    let mut first_err: Option<StorageError> = None;
+                    while let Some(((step, evicted), waited)) = wb_queue.pop() {
+                        add_nanos(&clocks.writeback_stall, waited);
+                        // The payload is queued by the consumer after its swap
+                        // publish, so this wait documents (and cheaply
+                        // enforces) that the drain never runs ahead of the
+                        // swap that detached its generation.
+                        clock.swap.wait_for(step as i64, &clock.abort);
+                        let busy_start = Instant::now();
+                        for part in &evicted {
+                            if first_err.is_none() {
+                                match store.write_partition(part.id, &part.values, &part.state) {
+                                    Ok(()) => {
+                                        clocks.writeback_parts.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(e) => {
+                                        first_err = Some(e);
+                                        clock.abort();
+                                    }
+                                }
+                            }
+                            ledger.mark_drained(part.id);
+                        }
+                        add_nanos(&clocks.writeback_busy, busy_start.elapsed());
+                        clock.writeback.publish(step as i64);
+                    }
+                    match first_err {
+                        None => Ok(()),
+                        Some(e) => Err(e),
+                    }
+                })
+            };
 
             // ---- Stage 2: batch-construction workers. --------------------
             for w in 0..workers {
@@ -643,15 +777,39 @@ impl Pipeline {
                                 debug_assert_eq!(parts_step, s, "partition payload out of order");
                                 report.partition_loads += new_parts.len();
                                 let install_start = Instant::now();
-                                buffer.install_set(
-                                    &ctx.set,
-                                    new_parts,
-                                    edges,
-                                    Arc::clone(&ctx.subgraph),
-                                )?;
-                                clock.publish(s as i64);
+                                let evicted = if self.config.synchronous_writeback {
+                                    // Oracle mode: pay the eviction IO inline
+                                    // on this thread, as before stage 4
+                                    // existed. The empty payload still flows
+                                    // to the drain so the write-back
+                                    // watermark advances step by step.
+                                    buffer.install_set(
+                                        &ctx.set,
+                                        new_parts,
+                                        edges,
+                                        Arc::clone(&ctx.subgraph),
+                                    )?;
+                                    Vec::new()
+                                } else {
+                                    let (_installs, evicted) = buffer.install_set_deferred(
+                                        &ctx.set,
+                                        new_parts,
+                                        edges,
+                                        Arc::clone(&ctx.subgraph),
+                                    )?;
+                                    evicted
+                                };
+                                clock.swap.publish(s as i64);
                                 cur_ctx = Some(ctx);
                                 report.compute_busy += install_start.elapsed();
+                                // Hand the detached generation to the drain.
+                                // Pushed even when empty so the write-back
+                                // watermark advances through every step. A
+                                // full queue here is write-back back-pressure
+                                // on compute, booked as a stall.
+                                if let Some(waited) = wb_queue.push((s, evicted)) {
+                                    report.compute_stall += waited;
+                                }
                             }
                             StepOut::Batch(batch) => {
                                 let ctx =
@@ -675,7 +833,10 @@ impl Pipeline {
             let result = run_consumer();
 
             // Shut everything down (idempotent) so the scope can join even on
-            // the error path, then surface the consumer's verdict.
+            // the error path. The write-back queue is closed only now — after
+            // the consumer's last push — and close lets the drain pop what
+            // remains, so the drain writes out every detached eviction
+            // (success *and* abort paths) before the scope joins it.
             clock.abort();
             for q in step_queues.iter() {
                 q.close();
@@ -684,14 +845,29 @@ impl Pipeline {
                 q.close();
             }
             parts_queue.close();
-            result
+            wb_queue.close();
+            let wb_result = wb_handle.join().expect("write-back drain panicked");
+            // A drain disk error is the root cause of any cascade it started,
+            // so it takes precedence over the consumer's verdict.
+            match (result, wb_result) {
+                (r, Ok(())) => r,
+                (_, Err(e)) => Err(e),
+            }
         });
 
         consumer_result?;
+        debug_assert_eq!(
+            ledger.pending_count(),
+            0,
+            "every detached eviction must drain before run_epoch returns"
+        );
         report.prefetch_busy = nanos(&clocks.prefetch_busy);
         report.prefetch_stall = nanos(&clocks.prefetch_stall);
         report.sample_busy = nanos(&clocks.sample_busy);
         report.sample_stall = nanos(&clocks.sample_stall);
+        report.writeback_busy = nanos(&clocks.writeback_busy);
+        report.writeback_stall = nanos(&clocks.writeback_stall);
+        report.partitions_written_back = clocks.writeback_parts.load(Ordering::Relaxed) as usize;
         report.wall_time = epoch_start.elapsed();
         Ok(report)
     }

@@ -8,20 +8,30 @@
 //! (paper §4.1). Embedding gathers and sparse Adagrad write-backs (Figure 2 steps
 //! 5–6) are served directly from the resident partitions.
 //!
-//! Two entry points swap the working set:
+//! Three entry points swap the working set:
 //!
-//! * [`PartitionBuffer::load_set`] — the synchronous path: evicts, then reads
-//!   partitions and edge buckets from disk on the calling thread.
-//! * [`PartitionBuffer::install_set`] — the asynchronous path used by
-//!   `marius-pipeline`: the prefetcher thread has already read the partition
-//!   and bucket files, so the swap only evicts (writing back dirty
-//!   partitions) and moves the prefetched data into place, keeping disk reads
-//!   off the compute thread entirely.
+//! * [`PartitionBuffer::load_set`] — the synchronous path: evicts (writing
+//!   dirty partitions back inline), then reads partitions and edge buckets
+//!   from disk on the calling thread.
+//! * [`PartitionBuffer::install_set`] — the read-asynchronous path: the
+//!   prefetcher thread has already read the partition and bucket files, so
+//!   the swap only evicts (still writing dirty partitions back inline) and
+//!   moves the prefetched data into place, keeping disk *reads* off the
+//!   compute thread.
+//! * [`PartitionBuffer::install_set_deferred`] — the fully asynchronous path
+//!   used by `marius-pipeline`: dirty evictions are *detached* as owned
+//!   [`EvictedPartition`] payloads instead of being written inline, so the
+//!   caller can hand them to a write-back drain thread while the next step
+//!   computes. The shared [`WritebackLedger`] tracks which partitions have
+//!   detached contents in flight; [`PartitionBuffer::flush`] waits for the
+//!   ledger to drain before touching the same files, and installs reject a
+//!   partition whose write-back is still pending (its disk bytes are stale).
 //!
 //! The buffer itself stays single-threaded (`&mut self` swaps and updates);
 //! cross-thread sharing happens through the [`PartitionStore`], which is
-//! `Send + Sync` (plain paths plus atomic IO counters), and through the
-//! immutable per-step payloads the pipeline passes between its stages.
+//! `Send + Sync` (plain paths plus atomic IO counters), through the
+//! immutable per-step payloads the pipeline passes between its stages, and
+//! through the ledger's pending-set.
 
 use crate::disk::PartitionStore;
 use crate::{Result, StorageError};
@@ -29,7 +39,7 @@ use marius_graph::{Edge, InMemorySubgraph, NodeId, PartitionAssignment, Partitio
 use marius_tensor::Tensor;
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A resident node partition: embedding rows and Adagrad state for its nodes, in
 /// the order given by `PartitionAssignment::nodes_in`.
@@ -38,6 +48,67 @@ struct ResidentPartition {
     values: Vec<f32>,
     state: Vec<f32>,
     dirty: bool,
+}
+
+/// A dirty partition detached from the buffer on eviction: the owned value and
+/// state buffers form a second, off-buffer generation of the partition that
+/// must reach the [`PartitionStore`] before the partition's file may be read
+/// again. Produced by [`PartitionBuffer::install_set_deferred`] and drained by
+/// the pipeline's write-back thread.
+#[derive(Debug)]
+pub struct EvictedPartition {
+    /// The detached partition's id.
+    pub id: PartitionId,
+    /// Embedding rows, in `PartitionAssignment::nodes_in` order.
+    pub values: Vec<f32>,
+    /// Optimizer state, same layout as `values`.
+    pub state: Vec<f32>,
+}
+
+/// Cross-thread bookkeeping of partitions whose evicted contents have been
+/// detached to an asynchronous write-back drain but not yet confirmed on
+/// disk. The buffer marks a partition pending when it detaches it; the drain
+/// thread calls [`WritebackLedger::mark_drained`] once the bytes have been
+/// written. While a partition is pending its on-disk file is stale, so
+/// installs of that partition fail and [`PartitionBuffer::flush`] blocks
+/// until the ledger empties.
+#[derive(Debug, Default)]
+pub struct WritebackLedger {
+    pending: Mutex<HashSet<PartitionId>>,
+    drained: Condvar,
+}
+
+impl WritebackLedger {
+    fn mark_pending(&self, id: PartitionId) {
+        self.pending.lock().expect("ledger poisoned").insert(id);
+    }
+
+    /// Records that `id`'s detached contents have been written back (or
+    /// abandoned by an aborting drain). Wakes any [`WritebackLedger::wait_drained`] callers.
+    pub fn mark_drained(&self, id: PartitionId) {
+        let mut pending = self.pending.lock().expect("ledger poisoned");
+        pending.remove(&id);
+        drop(pending);
+        self.drained.notify_all();
+    }
+
+    /// `true` while `id` has a detached write-back in flight.
+    pub fn is_pending(&self, id: PartitionId) -> bool {
+        self.pending.lock().expect("ledger poisoned").contains(&id)
+    }
+
+    /// Number of partitions with write-backs in flight.
+    pub fn pending_count(&self) -> usize {
+        self.pending.lock().expect("ledger poisoned").len()
+    }
+
+    /// Blocks until every pending write-back has been marked drained.
+    pub fn wait_drained(&self) {
+        let mut pending = self.pending.lock().expect("ledger poisoned");
+        while !pending.is_empty() {
+            pending = self.drained.wait(pending).expect("ledger poisoned");
+        }
+    }
 }
 
 /// The fixed-capacity partition buffer.
@@ -60,6 +131,9 @@ pub struct PartitionBuffer {
     /// Shared so epoch executors can snapshot it without deep-copying the
     /// CSR structures (the pipelined path hands pre-built subgraphs in).
     subgraph: Arc<InMemorySubgraph>,
+    /// Shared with the pipeline's write-back drain: which partitions have
+    /// detached (deferred-dirty) contents that are not yet on disk.
+    ledger: Arc<WritebackLedger>,
 }
 
 impl PartitionBuffer {
@@ -88,7 +162,14 @@ impl PartitionBuffer {
             resident: HashMap::new(),
             in_memory_edges: Vec::new(),
             subgraph: Arc::new(InMemorySubgraph::from_edges(&[])),
+            ledger: Arc::new(WritebackLedger::default()),
         }
+    }
+
+    /// A shared handle to the write-back ledger, for the drain thread that
+    /// confirms detached evictions once their bytes land on disk.
+    pub fn writeback_ledger(&self) -> Arc<WritebackLedger> {
+        Arc::clone(&self.ledger)
     }
 
     /// Sets the Adagrad learning rate for embedding write-backs.
@@ -170,7 +251,8 @@ impl PartitionBuffer {
     ///
     /// Returns the number of partitions read from disk.
     pub fn load_set(&mut self, set: &[PartitionId]) -> Result<usize> {
-        self.begin_swap(set)?;
+        let (_wanted, evicted) = self.begin_swap(set)?;
+        self.write_evicted_inline(evicted)?;
 
         // Load the missing partitions.
         let mut loads = 0usize;
@@ -221,7 +303,63 @@ impl PartitionBuffer {
         edges: Vec<Edge>,
         subgraph: Arc<InMemorySubgraph>,
     ) -> Result<usize> {
-        let wanted = self.begin_swap(set)?;
+        let (installs, evicted) = self.install_set_impl(set, new_parts, edges, subgraph)?;
+        self.write_evicted_inline(evicted)?;
+        Ok(installs)
+    }
+
+    /// Like [`PartitionBuffer::install_set`], but instead of writing evicted
+    /// dirty partitions back inline, *detaches* them: ownership of their
+    /// value/state buffers transfers to the returned [`EvictedPartition`]s (a
+    /// second buffer generation kept alive off the compute path) and each is
+    /// marked pending in the [`WritebackLedger`]. The caller must hand every
+    /// returned payload to a drain that writes it to the store and then calls
+    /// [`WritebackLedger::mark_drained`] — until then the partition's on-disk
+    /// file holds stale bytes and must not be read.
+    pub fn install_set_deferred(
+        &mut self,
+        set: &[PartitionId],
+        new_parts: Vec<(PartitionId, Vec<f32>, Vec<f32>)>,
+        edges: Vec<Edge>,
+        subgraph: Arc<InMemorySubgraph>,
+    ) -> Result<(usize, Vec<EvictedPartition>)> {
+        let (installs, evicted) = self.install_set_impl(set, new_parts, edges, subgraph)?;
+        for e in &evicted {
+            self.ledger.mark_pending(e.id);
+        }
+        Ok((installs, evicted))
+    }
+
+    fn install_set_impl(
+        &mut self,
+        set: &[PartitionId],
+        new_parts: Vec<(PartitionId, Vec<f32>, Vec<f32>)>,
+        edges: Vec<Edge>,
+        subgraph: Arc<InMemorySubgraph>,
+    ) -> Result<(usize, Vec<EvictedPartition>)> {
+        let (wanted, evicted) = self.begin_swap(set)?;
+        match self.install_new_parts(&wanted, set, new_parts, edges, subgraph) {
+            Ok(installs) => Ok((installs, evicted)),
+            Err(e) => {
+                // The swap already detached this step's dirty evictions; put
+                // their bytes on disk (best effort) before surfacing the
+                // error so no training update is lost on the abort path. If
+                // the rescue write fails too, the install error stays the
+                // root cause the caller sees.
+                let _ = self.write_evicted_inline(evicted);
+                Err(e)
+            }
+        }
+    }
+
+    fn install_new_parts(
+        &mut self,
+        wanted: &HashSet<PartitionId>,
+        set: &[PartitionId],
+        new_parts: Vec<(PartitionId, Vec<f32>, Vec<f32>)>,
+        edges: Vec<Edge>,
+        subgraph: Arc<InMemorySubgraph>,
+    ) -> Result<usize> {
         let installs = new_parts.len();
         for (p, values, state) in new_parts {
             if !wanted.contains(&p) {
@@ -235,6 +373,15 @@ impl PartitionBuffer {
                 return Err(StorageError::InvalidPlan {
                     reason: format!(
                         "prefetched partition {p} is already resident; install_set takes only the missing partitions of the set"
+                    ),
+                });
+            }
+            if self.ledger.is_pending(p) {
+                // The partition's detached eviction has not reached disk yet,
+                // so whatever the caller read from its file is stale.
+                return Err(StorageError::InvalidPlan {
+                    reason: format!(
+                        "partition {p} still has a pending write-back; installing it would revive stale disk bytes"
                     ),
                 });
             }
@@ -261,10 +408,15 @@ impl PartitionBuffer {
         Ok(installs)
     }
 
-    /// Shared prologue of the two swap paths: validates the set against the
-    /// buffer capacity and evicts (writing back) resident partitions outside
-    /// it. Returns the wanted-set lookup.
-    fn begin_swap(&mut self, set: &[PartitionId]) -> Result<HashSet<PartitionId>> {
+    /// Shared prologue of the swap paths: validates the set against the
+    /// buffer capacity and evicts resident partitions outside it, detaching
+    /// dirty ones (in ascending id order, for a deterministic write order)
+    /// instead of writing them. Returns the wanted-set lookup and the
+    /// detached evictions.
+    fn begin_swap(
+        &mut self,
+        set: &[PartitionId],
+    ) -> Result<(HashSet<PartitionId>, Vec<EvictedPartition>)> {
         if set.len() > self.capacity {
             return Err(StorageError::InvalidPlan {
                 reason: format!(
@@ -275,38 +427,56 @@ impl PartitionBuffer {
             });
         }
         let wanted: HashSet<PartitionId> = set.iter().copied().collect();
-        let to_evict: Vec<PartitionId> = self
+        let mut to_evict: Vec<PartitionId> = self
             .resident
             .keys()
             .copied()
             .filter(|p| !wanted.contains(p))
             .collect();
+        to_evict.sort_unstable();
+        let mut evicted = Vec::with_capacity(to_evict.len());
         for p in to_evict {
-            self.evict(p)?;
+            if let Some(data) = self.resident.remove(&p) {
+                if self.learnable && data.dirty {
+                    evicted.push(EvictedPartition {
+                        id: p,
+                        values: data.values,
+                        state: data.state,
+                    });
+                }
+            }
         }
-        Ok(wanted)
+        Ok((wanted, evicted))
     }
 
-    fn evict(&mut self, partition: PartitionId) -> Result<()> {
-        if let Some(data) = self.resident.remove(&partition) {
-            if self.learnable && data.dirty {
-                self.store
-                    .write_partition(partition, &data.values, &data.state)?;
-            }
+    /// Writes detached evictions straight back to the store (the synchronous
+    /// swap paths, and the deferred path's error recovery).
+    fn write_evicted_inline(&self, evicted: Vec<EvictedPartition>) -> Result<()> {
+        for e in evicted {
+            self.store.write_partition(e.id, &e.values, &e.state)?;
         }
         Ok(())
     }
 
-    /// Writes every dirty resident partition back to disk (end of epoch).
+    /// Writes every dirty resident partition back to disk (end of epoch), in
+    /// ascending partition-id order. Any evictions still detached to an
+    /// asynchronous drain are waited out first, so after `flush` returns the
+    /// store holds the complete, current state of every partition.
     pub fn flush(&mut self) -> Result<()> {
-        let resident: Vec<PartitionId> = self.resident.keys().copied().collect();
-        for p in resident {
-            if let Some(data) = self.resident.get_mut(&p) {
-                if self.learnable && data.dirty {
-                    self.store.write_partition(p, &data.values, &data.state)?;
-                    data.dirty = false;
-                }
-            }
+        self.ledger.wait_drained();
+        if !self.learnable {
+            return Ok(());
+        }
+        let mut dirty: Vec<(PartitionId, &mut ResidentPartition)> = self
+            .resident
+            .iter_mut()
+            .filter(|(_, data)| data.dirty)
+            .map(|(&p, data)| (p, data))
+            .collect();
+        dirty.sort_unstable_by_key(|&(p, _)| p);
+        for (p, data) in dirty {
+            self.store.write_partition(p, &data.values, &data.state)?;
+            data.dirty = false;
         }
         Ok(())
     }
@@ -324,8 +494,13 @@ impl PartitionBuffer {
     /// sampling under a fixed seed — is deterministic and identical between
     /// the sequential and pipelined training paths.
     pub fn resident_nodes(&self) -> Vec<NodeId> {
-        let mut nodes = Vec::new();
-        for p in self.resident_partitions() {
+        let parts = self.resident_partitions();
+        let total: usize = parts
+            .iter()
+            .map(|&p| self.assignment.nodes_in(p).len())
+            .sum();
+        let mut nodes = Vec::with_capacity(total);
+        for p in parts {
             nodes.extend_from_slice(self.assignment.nodes_in(p));
         }
         nodes
@@ -356,12 +531,22 @@ impl PartitionBuffer {
 
     /// Gathers the embedding rows of `nodes` into a `(nodes.len(), dim)` tensor.
     ///
+    /// Maximal runs of nodes at consecutive offsets of the same partition are
+    /// copied with a single `copy_from_slice` (partition layouts place
+    /// consecutive node ids at consecutive offsets, so sorted gathers of
+    /// contiguous id ranges collapse to one copy per partition); arbitrary
+    /// orders degrade gracefully to per-row copies.
+    ///
     /// Returns an error if any node's partition is not resident — out-of-core
     /// training guarantees this never happens because mini batches are built only
     /// from in-memory edges.
     pub fn gather(&self, nodes: &[NodeId]) -> Result<Tensor> {
-        let mut out = Tensor::zeros(nodes.len(), self.dim);
-        for (i, &node) in nodes.iter().enumerate() {
+        let dim = self.dim;
+        let mut out = Tensor::zeros(nodes.len(), dim);
+        let out_data = out.data_mut();
+        let mut i = 0usize;
+        while i < nodes.len() {
+            let node = nodes[i];
             let (p, offset) = self.node_location[node as usize];
             let data = self
                 .resident
@@ -369,9 +554,17 @@ impl PartitionBuffer {
                 .ok_or_else(|| StorageError::NotResident {
                     reason: format!("node {node} lives in partition {p} which is not resident"),
                 })?;
-            let start = offset as usize * self.dim;
-            out.row_mut(i)
-                .copy_from_slice(&data.values[start..start + self.dim]);
+            let mut run = 1usize;
+            while i + run < nodes.len() {
+                let (q, o) = self.node_location[nodes[i + run] as usize];
+                if q != p || o != offset + run as u32 {
+                    break;
+                }
+                run += 1;
+            }
+            let src = offset as usize * dim;
+            out_data[i * dim..(i + run) * dim].copy_from_slice(&data.values[src..src + run * dim]);
+            i += run;
         }
         Ok(out)
     }
@@ -617,6 +810,174 @@ mod tests {
     fn store_is_send_and_sync_for_the_prefetcher() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<crate::PartitionStore>();
+    }
+
+    #[test]
+    fn install_set_deferred_detaches_dirty_evictions() {
+        let (mut buffer, _) = build_buffer("deferred-detach", 40, 4, 2, true);
+        buffer.load_set(&[0, 1]).unwrap();
+        // Dirty partition 0, keep partition 1 clean.
+        let node = buffer.assignment().nodes_in(0)[0];
+        buffer.apply_update(&[node], &Tensor::ones(1, 4)).unwrap();
+        let updated = buffer.gather(&[node]).unwrap();
+        let writes_before = buffer.store().io_stats().writes;
+        // Swap to {2, 3}: both 0 and 1 are evicted, only 0 is dirty.
+        let mut new_parts = Vec::new();
+        for p in [2u32, 3] {
+            let (v, s) = buffer.store().read_partition(p).unwrap();
+            new_parts.push((p, v, s));
+        }
+        let (installs, evicted) = buffer
+            .install_set_deferred(
+                &[2, 3],
+                new_parts,
+                Vec::new(),
+                Arc::new(InMemorySubgraph::from_edges(&[])),
+            )
+            .unwrap();
+        assert_eq!(installs, 2);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].id, 0);
+        // Nothing was written inline; the ledger tracks the detached eviction.
+        assert_eq!(buffer.store().io_stats().writes, writes_before);
+        let ledger = buffer.writeback_ledger();
+        assert!(ledger.is_pending(0));
+        assert_eq!(ledger.pending_count(), 1);
+        // Drain it the way the pipeline's write-back thread would.
+        let e = &evicted[0];
+        buffer
+            .store()
+            .write_partition(e.id, &e.values, &e.state)
+            .unwrap();
+        ledger.mark_drained(e.id);
+        assert!(!ledger.is_pending(0));
+        // The drained bytes round-trip: reloading partition 0 sees the update.
+        buffer.load_set(&[0, 1]).unwrap();
+        assert_eq!(buffer.gather(&[node]).unwrap(), updated);
+    }
+
+    #[test]
+    fn install_rejects_partition_with_pending_writeback() {
+        let (mut buffer, _) = build_buffer("deferred-stale", 40, 4, 2, true);
+        buffer.load_set(&[0, 1]).unwrap();
+        let node = buffer.assignment().nodes_in(0)[0];
+        buffer.apply_update(&[node], &Tensor::ones(1, 4)).unwrap();
+        let (v2, s2) = buffer.store().read_partition(2).unwrap();
+        let (_, evicted) = buffer
+            .install_set_deferred(
+                &[1, 2],
+                vec![(2, v2, s2)],
+                Vec::new(),
+                Arc::new(InMemorySubgraph::from_edges(&[])),
+            )
+            .unwrap();
+        assert_eq!(evicted[0].id, 0);
+        // While 0's write-back is pending, its disk bytes are stale:
+        // installing a copy read from disk must fail.
+        let (v0, s0) = buffer.store().read_partition(0).unwrap();
+        let err = buffer
+            .install_set(
+                &[0, 1],
+                vec![(0, v0, s0)],
+                Vec::new(),
+                Arc::new(InMemorySubgraph::from_edges(&[])),
+            )
+            .unwrap_err();
+        assert!(format!("{err}").contains("pending write-back"));
+        // After draining, the same install succeeds.
+        let e = &evicted[0];
+        buffer
+            .store()
+            .write_partition(e.id, &e.values, &e.state)
+            .unwrap();
+        buffer.writeback_ledger().mark_drained(e.id);
+        let (v0, s0) = buffer.store().read_partition(0).unwrap();
+        buffer
+            .install_set(
+                &[0, 1],
+                vec![(0, v0, s0)],
+                Vec::new(),
+                Arc::new(InMemorySubgraph::from_edges(&[])),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn flush_waits_for_async_drain() {
+        let (mut buffer, _) = build_buffer("flush-drain", 40, 4, 2, true);
+        buffer.load_set(&[0, 1]).unwrap();
+        let node = buffer.assignment().nodes_in(0)[0];
+        buffer.apply_update(&[node], &Tensor::ones(1, 4)).unwrap();
+        let (v2, s2) = buffer.store().read_partition(2).unwrap();
+        let (_, evicted) = buffer
+            .install_set_deferred(
+                &[1, 2],
+                vec![(2, v2, s2)],
+                Vec::new(),
+                Arc::new(InMemorySubgraph::from_edges(&[])),
+            )
+            .unwrap();
+        let ledger = buffer.writeback_ledger();
+        let store = buffer.store().clone();
+        // Drain on another thread after a delay; flush must block until the
+        // write has landed before returning.
+        let drainer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            for e in &evicted {
+                store.write_partition(e.id, &e.values, &e.state).unwrap();
+                ledger.mark_drained(e.id);
+            }
+        });
+        buffer.flush().unwrap();
+        assert_eq!(buffer.writeback_ledger().pending_count(), 0);
+        drainer.join().unwrap();
+        // Partition 0's update is on disk even though 0 is no longer resident.
+        let (_, state) = buffer.store().read_partition(0).unwrap();
+        let offset = buffer
+            .assignment()
+            .nodes_in(0)
+            .iter()
+            .position(|&n| n == node)
+            .unwrap();
+        assert!(state[offset * 4..(offset + 1) * 4].iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn gather_coalesces_consecutive_rows_bitwise_identically() {
+        use marius_graph::PartitionAssignment;
+        // Contiguous layout: partition 0 holds nodes 0..=5, partition 1 holds
+        // 6..=11 — a sorted gather spanning both collapses to two copies.
+        let assignment =
+            PartitionAssignment::from_vec(vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1], 2).unwrap();
+        let store = PartitionStore::open_temp("gather-runs").unwrap();
+        store.clear().unwrap();
+        let dim = 3usize;
+        for p in 0..2u32 {
+            let nodes = assignment.nodes_in(p);
+            let values: Vec<f32> = nodes
+                .iter()
+                .flat_map(|&n| (0..dim).map(move |d| n as f32 * 100.0 + d as f32))
+                .collect();
+            let state = vec![0.0; values.len()];
+            store.write_partition(p, &values, &state).unwrap();
+        }
+        let mut buffer = PartitionBuffer::new(store, assignment, dim, 2, true);
+        buffer.load_set(&[0, 1]).unwrap();
+        // A run across the partition boundary, a reversed (non-coalescible)
+        // order, and repeats.
+        for nodes in [
+            vec![3u64, 4, 5, 6, 7],
+            vec![7, 6, 5, 4],
+            vec![2, 2, 3, 3],
+            vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+        ] {
+            let t = buffer.gather(&nodes).unwrap();
+            for (i, &n) in nodes.iter().enumerate() {
+                for d in 0..dim {
+                    assert_eq!(t.get(i, d), n as f32 * 100.0 + d as f32, "node {n} dim {d}");
+                }
+            }
+        }
     }
 
     #[test]

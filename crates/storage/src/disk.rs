@@ -202,6 +202,12 @@ impl PartitionStore {
 
     /// Writes a node partition: `values` and `state` are the embedding rows and
     /// optimizer state, stored back to back.
+    ///
+    /// The write is atomic with respect to concurrent readers: bytes land in a
+    /// per-partition temporary file that is renamed over the real path only
+    /// once complete, so a reader (e.g. the pipeline's prefetcher racing an
+    /// aborted write-back drain) observes either the old or the new contents,
+    /// never a torn file.
     pub fn write_partition(&self, id: PartitionId, values: &[f32], state: &[f32]) -> Result<()> {
         let mut buf = Vec::with_capacity(8 + (values.len() + state.len()) * 4);
         buf.extend_from_slice(&(values.len() as u64).to_le_bytes());
@@ -211,8 +217,11 @@ impl PartitionStore {
         for s in state {
             buf.extend_from_slice(&s.to_le_bytes());
         }
-        let mut file = fs::File::create(self.partition_path(id))?;
+        let tmp = self.root.join(format!("node_partition_{id}.bin.tmp"));
+        let mut file = fs::File::create(&tmp)?;
         file.write_all(&buf)?;
+        drop(file);
+        fs::rename(&tmp, self.partition_path(id))?;
         self.counters.record_write(buf.len() as u64);
         self.throttle_op(buf.len() as u64);
         Ok(())

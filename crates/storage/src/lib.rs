@@ -33,10 +33,15 @@
 //! [`disk::PartitionStore`] is `Send + Sync` (plain paths plus atomic IO
 //! counters), so any number of threads may read concurrently — and hands the
 //! already-deserialized data to the compute thread, which swaps it into the
-//! buffer with [`buffer::PartitionBuffer::install_set`] without touching the
-//! store's read path. Write-backs of dirty partitions stay on the compute
-//! thread (they must precede any re-read of the same partition; the pipeline
-//! sequences that with a transition watermark).
+//! buffer with [`buffer::PartitionBuffer::install_set_deferred`] without
+//! touching the store's read path. Write-backs of dirty partitions are
+//! *detached* from the swap as owned [`buffer::EvictedPartition`] payloads and
+//! drained to the store by a dedicated write-back thread while the next step
+//! computes; the shared [`buffer::WritebackLedger`] (plus the pipeline's
+//! write-back watermark) guarantees a partition's file is never re-read before
+//! its pending write-back lands, and [`disk::PartitionStore::write_partition`]
+//! renames completed temp files into place so no reader can observe a torn
+//! partition even across an abort.
 
 pub mod buffer;
 pub mod disk;
@@ -44,7 +49,7 @@ pub mod io_model;
 pub mod policy;
 pub mod tuning;
 
-pub use buffer::PartitionBuffer;
+pub use buffer::{EvictedPartition, PartitionBuffer, WritebackLedger};
 pub use disk::{IoStats, PartitionStore};
 pub use io_model::IoCostModel;
 pub use policy::{BetaPolicy, CometPolicy, EpochPlan, InMemoryPolicy, NodeCachePolicy};

@@ -70,6 +70,7 @@ fn pipelined_multi_worker_smoke_loss_finite_and_partitions_written_back() {
             num_sampling_workers: 4,
             queue_depth: 3,
             prefetch_depth: 2,
+            ..PipelineConfig::default()
         })
         .train_disk(&data, &disk)
         .expect("pipelined multi-worker");
