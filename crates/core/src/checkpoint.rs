@@ -1,0 +1,1461 @@
+//! Durable training state: the [`StateDict`] / [`Persist`] contract and the
+//! versioned on-disk checkpoint format.
+//!
+//! Out-of-core training makes long-running disk-based epochs the norm; a
+//! restart must not cost those epochs. This module defines *what a model's
+//! durable state is* — named, versioned tensor blobs behind the [`Persist`]
+//! trait — and the checkpoint layout that makes a resumed run's loss
+//! trajectory bit-identical to the uninterrupted run (pinned by the
+//! `checkpoint_resume` golden tests at the workspace root).
+//!
+//! # On-disk layout
+//!
+//! A checkpoint *root* directory holds immutable version directories plus an
+//! atomically swapped `LATEST` pointer:
+//!
+//! ```text
+//! <root>/
+//!   LATEST                    # name of the newest complete version, e.g. "epoch-000002"
+//!   epoch-000002/             # one immutable directory per checkpointed epoch boundary
+//!     manifest.json           # the durable contract (schema below)
+//!     state.bin               # concatenated little-endian blob payloads
+//!     progress.json           # human-readable ExperimentReport (write-only)
+//!     partitions/             # PartitionStore snapshot (disk runs with write-back only)
+//!   epoch-000001/             # the previous version, retained for crash safety
+//! ```
+//!
+//! Every write is staged and renamed: version directories are assembled at
+//! `<name>.tmp` and renamed into place only once complete, the `LATEST` file
+//! is replaced via temp-file + rename, and the partition snapshot inside the
+//! version is itself a temp-dir + rename
+//! ([`marius_storage::PartitionStore::snapshot_to`]). The staged version is
+//! fsynced (every file, then its directories) before any rename, and the
+//! renames and `LATEST` flip are fsynced in order, so the guarantee holds
+//! across power loss as well as process crashes: a crash at any point leaves
+//! `LATEST` naming the last fully durable version — a reader can never
+//! observe a torn checkpoint. Old versions beyond the newest two are pruned
+//! after the pointer flip.
+//!
+//! # Manifest schema (`manifest.json`, format version 1)
+//!
+//! ```json
+//! {
+//!   "format": "marius-checkpoint", "version": 1,
+//!   "task": "lp",                        // Task::slug of the checkpointed task
+//!   "epochs_completed": 2,               // resume starts at this epoch index
+//!   "every": 1, "eval_every": 1,         // checkpoint cadence + eval cadence
+//!   "rng": ["0x..", "0x..", "0x..", "0x.."],  // trainer RNG cursor (xoshiro256** words)
+//!   "emulated_device": null,             // or the IoCostModel of an emulated-device run
+//!   "model": { .. }, "train": { .. },    // ModelConfig / TrainConfig
+//!   "storage": {"kind": "memory"} | {"kind": "disk", ..DiskConfig..},
+//!   "pipeline": { ..PipelineConfig.. },
+//!   "dataset": { ..DatasetSpec.., "seed": 42 },  // regenerates the dataset bit-for-bit
+//!   "store_snapshot": true,              // whether partitions/ exists
+//!   "blobs": [ {"name", "rows", "cols", "dtype", "offset", "len_bytes", "fnv64"} ],
+//!   "epochs": [ {"epoch", "loss_bits", "metric_bits", ..} ]
+//! }
+//! ```
+//!
+//! # Versioning rules
+//!
+//! * `version` is bumped on any incompatible change to the manifest schema or
+//!   blob encoding; [`Checkpoint::open`] rejects versions it does not speak.
+//! * Blob *names* are the compatibility surface of a model's state
+//!   (`model.encoder.l0.p0.value`, `source.table.values`, ...); loaders must
+//!   reject missing names or shape mismatches rather than guess.
+//! * Floating-point values that feed resumed computation (`loss_bits`,
+//!   `metric_bits`, the blob payloads, the RNG words) are stored as exact bit
+//!   patterns; human-oriented copies live in `progress.json`.
+//! * Every blob carries an FNV-1a 64 checksum over its payload bytes;
+//!   [`Checkpoint::open`] verifies all of them before returning.
+//!
+//! # Bit-exact resume
+//!
+//! A checkpoint captures, at an epoch boundary: the epoch counter, the
+//! trainer's RNG cursor, every model parameter *and* its Adagrad accumulator,
+//! the learnable base representations (an in-memory table dump or a partition
+//! snapshot taken after the write-back ledger drained — see
+//! [`marius_pipeline::writeback_safe_point`]), the in-memory example-order
+//! permutation, and the per-epoch report so far. Resume replays the fresh
+//! run's construction path (consuming identical RNG draws for dataset,
+//! partitioning, and parameter init), then overlays the saved state and RNG
+//! cursor — from which point the continuation is indistinguishable from the
+//! uninterrupted run.
+
+use crate::config::{DiskConfig, ModelConfig, PipelineConfig, PolicyKind, TrainConfig};
+use crate::report::{json_escape, EpochReport, ExperimentReport};
+use marius_gnn::EmbeddingTable;
+use marius_graph::datasets::{DatasetSpec, ScaledDataset, Task as DatasetTask};
+use marius_sampling::SamplingDirection;
+use marius_storage::{atomic_write, IoCostModel, PartitionStore, Result, StorageError};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+mod json;
+use json::Json;
+
+/// Format identifier stamped into every manifest.
+pub const FORMAT: &str = "marius-checkpoint";
+/// Current manifest/blob format version. Bumped on incompatible changes.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit checksum (the per-blob integrity check).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn corrupt(reason: impl Into<String>) -> StorageError {
+    StorageError::checkpoint(reason)
+}
+
+/// Element type of a [`Blob`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DType {
+    /// 32-bit IEEE-754 floats (parameters, optimizer state, embeddings).
+    F32,
+    /// 64-bit unsigned integers (permutations, RNG material, counters).
+    U64,
+}
+
+impl DType {
+    fn as_str(self) -> &'static str {
+        match self {
+            DType::F32 => "f32",
+            DType::U64 => "u64",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self> {
+        match s {
+            "f32" => Ok(DType::F32),
+            "u64" => Ok(DType::U64),
+            other => Err(corrupt(format!("unknown blob dtype {other:?}"))),
+        }
+    }
+
+    fn width(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::U64 => 8,
+        }
+    }
+}
+
+/// One named tensor payload inside a [`StateDict`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blob {
+    name: String,
+    rows: usize,
+    cols: usize,
+    dtype: DType,
+    data: Vec<u8>,
+}
+
+impl Blob {
+    /// The blob's name (the compatibility surface — see the module docs).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logical shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// FNV-1a 64 checksum over the payload bytes.
+    pub fn checksum(&self) -> u64 {
+        fnv1a64(&self.data)
+    }
+
+    /// Decodes the payload as `f32` values.
+    pub fn as_f32(&self) -> Result<Vec<f32>> {
+        if self.dtype != DType::F32 {
+            return Err(corrupt(format!(
+                "blob {:?} holds {} data, not f32",
+                self.name,
+                self.dtype.as_str()
+            )));
+        }
+        Ok(self
+            .data
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Decodes the payload as `u64` values.
+    pub fn as_u64(&self) -> Result<Vec<u64>> {
+        if self.dtype != DType::U64 {
+            return Err(corrupt(format!(
+                "blob {:?} holds {} data, not u64",
+                self.name,
+                self.dtype.as_str()
+            )));
+        }
+        Ok(self
+            .data
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+}
+
+/// An ordered collection of named, shaped tensor blobs: the in-memory form of
+/// a checkpoint's durable state. Produced by [`Persist::save_state`] (and the
+/// `Task::save_state` hooks), consumed by the matching `load_state`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateDict {
+    blobs: Vec<Blob>,
+}
+
+impl StateDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        StateDict::default()
+    }
+
+    /// Number of blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Whether the dictionary holds no blobs.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// The blobs, in insertion order.
+    pub fn blobs(&self) -> &[Blob] {
+        &self.blobs
+    }
+
+    /// Looks a blob up by name.
+    pub fn get(&self, name: &str) -> Option<&Blob> {
+        self.blobs.iter().find(|b| b.name == name)
+    }
+
+    fn push(&mut self, blob: Blob) {
+        assert!(
+            self.get(&blob.name).is_none(),
+            "duplicate blob name {:?}",
+            blob.name
+        );
+        self.blobs.push(blob);
+    }
+
+    /// Appends an `f32` blob of shape `(rows, cols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols` or the name is already taken.
+    pub fn push_f32(&mut self, name: impl Into<String>, rows: usize, cols: usize, values: &[f32]) {
+        assert_eq!(values.len(), rows * cols, "blob shape mismatch");
+        let mut data = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        self.push(Blob {
+            name: name.into(),
+            rows,
+            cols,
+            dtype: DType::F32,
+            data,
+        });
+    }
+
+    /// Appends a `u64` blob of shape `(values.len(), 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn push_u64(&mut self, name: impl Into<String>, values: &[u64]) {
+        let mut data = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        self.push(Blob {
+            name: name.into(),
+            rows: values.len(),
+            cols: 1,
+            dtype: DType::U64,
+            data,
+        });
+    }
+
+    /// Fetches an `f32` blob, rejecting a missing name or shape mismatch.
+    pub fn require_f32(&self, name: &str, rows: usize, cols: usize) -> Result<Vec<f32>> {
+        let blob = self
+            .get(name)
+            .ok_or_else(|| corrupt(format!("checkpoint state has no blob {name:?}")))?;
+        if blob.shape() != (rows, cols) {
+            return Err(corrupt(format!(
+                "blob {name:?} has shape {:?}, expected ({rows}, {cols})",
+                blob.shape()
+            )));
+        }
+        blob.as_f32()
+    }
+
+    /// Fetches a `u64` blob by name, any length.
+    pub fn require_u64(&self, name: &str) -> Result<Vec<u64>> {
+        self.get(name)
+            .ok_or_else(|| corrupt(format!("checkpoint state has no blob {name:?}")))?
+            .as_u64()
+    }
+
+    /// Serialises every payload into one buffer (the `state.bin` content) and
+    /// the per-blob manifest entries describing it.
+    pub fn encode(&self) -> (Vec<u8>, Vec<BlobEntry>) {
+        let mut bytes = Vec::new();
+        let mut entries = Vec::with_capacity(self.blobs.len());
+        for blob in &self.blobs {
+            entries.push(BlobEntry {
+                name: blob.name.clone(),
+                rows: blob.rows,
+                cols: blob.cols,
+                dtype: blob.dtype,
+                offset: bytes.len(),
+                len_bytes: blob.data.len(),
+                fnv64: blob.checksum(),
+            });
+            bytes.extend_from_slice(&blob.data);
+        }
+        (bytes, entries)
+    }
+
+    /// Rebuilds a dictionary from manifest entries plus the `state.bin`
+    /// buffer, verifying every length, element width, and checksum.
+    pub fn decode(entries: &[BlobEntry], bytes: &[u8]) -> Result<Self> {
+        let mut dict = StateDict::new();
+        for e in entries {
+            let end = e
+                .offset
+                .checked_add(e.len_bytes)
+                .filter(|&end| end <= bytes.len());
+            let Some(end) = end else {
+                return Err(corrupt(format!(
+                    "blob {:?} extends past the end of state.bin ({} + {} > {})",
+                    e.name,
+                    e.offset,
+                    e.len_bytes,
+                    bytes.len()
+                )));
+            };
+            if e.len_bytes != e.rows * e.cols * e.dtype.width() {
+                return Err(corrupt(format!(
+                    "blob {:?} length {} does not match shape ({}, {}) of {}",
+                    e.name,
+                    e.len_bytes,
+                    e.rows,
+                    e.cols,
+                    e.dtype.as_str()
+                )));
+            }
+            let data = bytes[e.offset..end].to_vec();
+            let sum = fnv1a64(&data);
+            if sum != e.fnv64 {
+                return Err(corrupt(format!(
+                    "blob {:?} checksum mismatch: manifest {:#018x}, data {sum:#018x}",
+                    e.name, e.fnv64
+                )));
+            }
+            dict.push(Blob {
+                name: e.name.clone(),
+                rows: e.rows,
+                cols: e.cols,
+                dtype: e.dtype,
+                data,
+            });
+        }
+        Ok(dict)
+    }
+}
+
+/// Manifest record describing one blob inside `state.bin`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlobEntry {
+    /// Blob name.
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Element type.
+    pub dtype: DType,
+    /// Byte offset of the payload inside `state.bin`.
+    pub offset: usize,
+    /// Payload length in bytes.
+    pub len_bytes: usize,
+    /// FNV-1a 64 checksum of the payload.
+    pub fnv64: u64,
+}
+
+/// Types whose durable state round-trips through a [`StateDict`].
+///
+/// `save_state` appends the type's named blobs; `load_state` restores them,
+/// rejecting missing names and shape mismatches (a checkpoint from a different
+/// architecture must fail loudly, not load partially).
+pub trait Persist {
+    /// Appends this value's durable state to `dict`.
+    fn save_state(&self, dict: &mut StateDict);
+
+    /// Restores this value's durable state from `dict`.
+    fn load_state(&mut self, dict: &StateDict) -> Result<()>;
+}
+
+impl Persist for EmbeddingTable {
+    fn save_state(&self, dict: &mut StateDict) {
+        let (n, d) = (self.num_nodes(), self.dim());
+        dict.push_f32("source.table.values", n, d, self.raw_values());
+        dict.push_f32("source.table.state", n, d, self.raw_state());
+    }
+
+    fn load_state(&mut self, dict: &StateDict) -> Result<()> {
+        let (n, d) = (self.num_nodes(), self.dim());
+        let values = dict.require_f32("source.table.values", n, d)?;
+        let state = dict.require_f32("source.table.state", n, d)?;
+        self.load_rows(0, &values, &state);
+        Ok(())
+    }
+}
+
+/// Where a checkpointed run kept its base representations.
+#[derive(Debug, Clone)]
+pub enum StorageKind {
+    /// Everything resident in memory (`M-GNN_Mem`).
+    InMemory,
+    /// Out-of-core over a partition store (`M-GNN_Disk`).
+    Disk(DiskConfig),
+}
+
+/// Everything [`write_versioned`] needs to persist one epoch-boundary
+/// checkpoint. Assembled by `Trainer<T>` at the end of a checkpointed epoch.
+pub struct CheckpointSnapshot<'a> {
+    /// `Task::slug` of the running task (validated on resume).
+    pub task_slug: &'a str,
+    /// Number of fully completed epochs (resume starts here).
+    pub epochs_completed: usize,
+    /// Checkpoint cadence in epochs.
+    pub every: usize,
+    /// Evaluation cadence in epochs.
+    pub eval_every: usize,
+    /// The trainer RNG's cursor at the epoch boundary.
+    pub rng_state: [u64; 4],
+    /// The emulated IO device the run trains against, if any — persisted so a
+    /// resumed run continues under the same IO regime.
+    pub emulated_device: Option<&'a IoCostModel>,
+    /// Model architecture.
+    pub model: &'a ModelConfig,
+    /// Batch/epoch configuration.
+    pub train: &'a TrainConfig,
+    /// Storage selection.
+    pub storage: &'a StorageKind,
+    /// Pipelined-runtime configuration.
+    pub pipeline: &'a PipelineConfig,
+    /// The dataset the run trains on (spec + generation seed are persisted).
+    pub data: &'a ScaledDataset,
+    /// Model (and in-memory source) state blobs.
+    pub state: &'a StateDict,
+    /// When `Some`, the store's partition files are snapshotted into the
+    /// version directory. Must be at a write-back safe point (see
+    /// [`marius_pipeline::writeback_safe_point`]).
+    pub store: Option<&'a PartitionStore>,
+    /// Per-epoch reports so far (persisted bit-exactly in the manifest, plus
+    /// human-readably in `progress.json`).
+    pub report: &'a ExperimentReport,
+}
+
+/// Flushes a file's (or directory's) data and metadata to the device.
+/// Rename-based atomicity alone survives process crashes; surviving *power
+/// loss* additionally needs every staged byte durable before the rename, and
+/// the directory entries durable before `LATEST` flips (otherwise the flip
+/// can reach disk while the version it names is still zero-filled pages).
+fn fsync_path(path: &Path) -> std::io::Result<()> {
+    fs::File::open(path)?.sync_all()
+}
+
+/// Recursively fsyncs every file, then every directory, under `dir` —
+/// including hard-linked snapshot files (syncing a link flushes the shared
+/// inode's data).
+fn fsync_tree(dir: &Path) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            fsync_tree(&path)?;
+        } else {
+            fsync_path(&path)?;
+        }
+    }
+    fsync_path(dir)
+}
+
+/// Writes one versioned checkpoint under `root` and atomically flips `LATEST`
+/// to it. Returns the version directory's path. See the module docs for the
+/// crash-safety argument.
+pub fn write_versioned(root: &Path, snapshot: &CheckpointSnapshot<'_>) -> Result<PathBuf> {
+    fs::create_dir_all(root)?;
+    let version = version_name(snapshot.epochs_completed);
+    let staging = root.join(format!("{version}.tmp"));
+    if staging.exists() {
+        fs::remove_dir_all(&staging)?;
+    }
+    fs::create_dir_all(&staging)?;
+
+    let (bin, entries) = snapshot.state.encode();
+    fs::write(staging.join("state.bin"), &bin)?;
+    if let Some(store) = snapshot.store {
+        store.snapshot_to(staging.join("partitions"))?;
+    }
+    fs::write(staging.join("progress.json"), snapshot.report.to_json())?;
+    fs::write(
+        staging.join("manifest.json"),
+        manifest_json(snapshot, &entries),
+    )?;
+
+    // Make the staged version durable before any rename: after the LATEST
+    // flip below reaches disk, every byte it names must already be there.
+    fsync_tree(&staging)?;
+
+    let final_dir = root.join(&version);
+    if final_dir.exists() {
+        // Re-checkpointing the same epoch (a restarted-from-scratch run over
+        // an old checkpoint directory): never delete the version `LATEST`
+        // may currently name. Rename it aside first — a crash between the
+        // two renames leaves `LATEST` briefly dangling, which
+        // [`Checkpoint::open`]'s fallback scan covers — and drop the old
+        // bytes only after the swap.
+        let trash = root.join(format!("{version}.old.tmp"));
+        let _ = fs::remove_dir_all(&trash);
+        fs::rename(&final_dir, &trash)?;
+        fs::rename(&staging, &final_dir)?;
+        let _ = fs::remove_dir_all(&trash);
+    } else {
+        fs::rename(&staging, &final_dir)?;
+    }
+    // Persist the rename itself, then the pointer, then the pointer's
+    // directory entry — in that order, so a power cut at any point leaves
+    // LATEST naming a fully durable version (possibly the previous one).
+    fsync_path(root)?;
+    atomic_write(&root.join("LATEST"), version.as_bytes())?;
+    fsync_path(&root.join("LATEST"))?;
+    fsync_path(root)?;
+    prune_versions(root, &version)?;
+    Ok(final_dir)
+}
+
+fn version_name(epochs_completed: usize) -> String {
+    format!("epoch-{epochs_completed:06}")
+}
+
+/// Removes version directories older than the newest two (the current one and
+/// its predecessor, kept so a crash while *reading* the newest never strands
+/// the operator), plus any abandoned `.tmp` staging directories.
+fn prune_versions(root: &Path, current: &str) -> Result<()> {
+    let mut versions: Vec<String> = Vec::new();
+    for entry in fs::read_dir(root)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !entry.path().is_dir() {
+            continue;
+        }
+        if name.ends_with(".tmp") {
+            let _ = fs::remove_dir_all(entry.path());
+        } else if name.starts_with("epoch-") {
+            versions.push(name);
+        }
+    }
+    versions.sort();
+    let keep_from = versions.len().saturating_sub(2);
+    for name in &versions[..keep_from] {
+        if name != current {
+            let _ = fs::remove_dir_all(root.join(name));
+        }
+    }
+    Ok(())
+}
+
+/// The state a `Trainer<T>` needs to continue a checkpointed run.
+#[derive(Debug, Clone)]
+pub struct ResumeState {
+    /// Epoch index training resumes at (== epochs completed at checkpoint).
+    pub start_epoch: usize,
+    /// The trainer RNG cursor to restore once construction has replayed.
+    pub rng_state: [u64; 4],
+    /// Model / source / trainer blobs.
+    pub state: StateDict,
+    /// Partition snapshot to restore into the fresh store, when the run was
+    /// disk-based with learnable (write-back) representations.
+    pub store_snapshot: Option<PathBuf>,
+    /// Completed epochs' reports, seeded into the resumed run's report.
+    pub prior_epochs: Vec<EpochReport>,
+}
+
+/// A loaded, checksum-verified checkpoint.
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// The version directory this checkpoint was loaded from.
+    pub dir: PathBuf,
+    /// `Task::slug` of the run that wrote the checkpoint.
+    pub task_slug: String,
+    /// Fully completed epochs.
+    pub epochs_completed: usize,
+    /// Checkpoint cadence.
+    pub every: usize,
+    /// Evaluation cadence.
+    pub eval_every: usize,
+    /// Trainer RNG cursor.
+    pub rng_state: [u64; 4],
+    /// The emulated IO device the run trains against, if any.
+    pub emulated_device: Option<IoCostModel>,
+    /// Model architecture.
+    pub model: ModelConfig,
+    /// Batch/epoch configuration (including the total epoch target).
+    pub train: TrainConfig,
+    /// Storage selection.
+    pub storage: StorageKind,
+    /// Pipelined-runtime configuration.
+    pub pipeline: PipelineConfig,
+    /// Dataset specification (regenerates the dataset with `dataset_seed`).
+    pub dataset_spec: DatasetSpec,
+    /// Dataset generation seed.
+    pub dataset_seed: u64,
+    /// Model / source / trainer state blobs.
+    pub state: StateDict,
+    /// Whether the version directory carries a partition snapshot.
+    pub has_store_snapshot: bool,
+    /// Completed epochs' reports, bit-exact.
+    pub prior_epochs: Vec<EpochReport>,
+}
+
+impl Checkpoint {
+    /// Opens the newest complete checkpoint under `root` (the directory
+    /// passed to `checkpoint_to` / [`write_versioned`]), verifying the format
+    /// version and every blob checksum.
+    ///
+    /// `LATEST` names the version tried first. If that version's directory
+    /// is *missing* — the one crash window is a same-epoch re-checkpoint
+    /// dying between the rename-aside and rename-in of [`write_versioned`] —
+    /// the retained older versions are tried newest-first. A version that
+    /// exists but fails to load (checksum corruption, format-version skew)
+    /// is NOT silently skipped: falling back there would quietly rewind
+    /// training progress, so the failure surfaces to the caller instead.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        let root = root.as_ref();
+        let latest = fs::read_to_string(root.join("LATEST")).map_err(|e| {
+            corrupt(format!(
+                "no checkpoint at {}: cannot read LATEST ({e})",
+                root.display()
+            ))
+        })?;
+        let latest = latest.trim().to_string();
+        let latest_dir = root.join(&latest);
+        let primary_err = match Self::open_version(latest_dir.clone()) {
+            Ok(ckpt) => return Ok(ckpt),
+            Err(e) => e,
+        };
+        if latest_dir.is_dir() {
+            // The named version exists but is unreadable — corruption or
+            // version skew, not the dangling-rename window. Fail loudly.
+            return Err(primary_err);
+        }
+        let mut versions: Vec<String> = match fs::read_dir(root) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().is_dir())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .filter(|n| n.starts_with("epoch-") && !n.ends_with(".tmp") && *n != latest)
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        versions.sort();
+        for name in versions.iter().rev() {
+            if let Ok(ckpt) = Self::open_version(root.join(name)) {
+                return Ok(ckpt);
+            }
+        }
+        Err(primary_err)
+    }
+
+    /// Loads and verifies one specific version directory.
+    fn open_version(dir: PathBuf) -> Result<Self> {
+        let manifest = fs::read_to_string(dir.join("manifest.json")).map_err(|e| {
+            corrupt(format!(
+                "checkpoint version {} is missing its manifest ({e})",
+                dir.display()
+            ))
+        })?;
+        let doc = Json::parse(&manifest)
+            .map_err(|e| corrupt(format!("manifest at {} is invalid: {e}", dir.display())))?;
+
+        if doc.str_field("format")? != FORMAT {
+            return Err(corrupt("manifest is not a marius checkpoint"));
+        }
+        let version = doc.u64_field("version")?;
+        if version != FORMAT_VERSION {
+            return Err(corrupt(format!(
+                "checkpoint format version {version} is not supported (this build speaks {FORMAT_VERSION})"
+            )));
+        }
+
+        let rng_arr = doc.field("rng")?.as_array()?;
+        if rng_arr.len() != 4 {
+            return Err(corrupt("rng cursor must have 4 words"));
+        }
+        let mut rng_state = [0u64; 4];
+        for (i, w) in rng_arr.iter().enumerate() {
+            rng_state[i] = w.as_hex_u64()?;
+        }
+
+        let entries: Vec<BlobEntry> = doc
+            .field("blobs")?
+            .as_array()?
+            .iter()
+            .map(blob_entry_from_json)
+            .collect::<Result<_>>()?;
+        let bin = fs::read(dir.join("state.bin"))?;
+        let state = StateDict::decode(&entries, &bin)?;
+
+        let has_store_snapshot = doc.bool_field("store_snapshot")?;
+        if has_store_snapshot && !dir.join("partitions").is_dir() {
+            return Err(corrupt(format!(
+                "checkpoint {} promises a partition snapshot but has none",
+                dir.display()
+            )));
+        }
+
+        let prior_epochs = doc
+            .field("epochs")?
+            .as_array()?
+            .iter()
+            .map(epoch_from_json)
+            .collect::<Result<_>>()?;
+
+        Ok(Checkpoint {
+            dir,
+            task_slug: doc.str_field("task")?.to_string(),
+            epochs_completed: doc.u64_field("epochs_completed")? as usize,
+            every: doc.u64_field("every")? as usize,
+            eval_every: doc.u64_field("eval_every")? as usize,
+            rng_state,
+            emulated_device: emulated_device_from_json(doc.field("emulated_device")?)?,
+            model: model_from_json(doc.field("model")?)?,
+            train: train_from_json(doc.field("train")?)?,
+            storage: storage_from_json(doc.field("storage")?)?,
+            pipeline: pipeline_from_json(doc.field("pipeline")?)?,
+            dataset_spec: dataset_from_json(doc.field("dataset")?)?,
+            dataset_seed: doc.field("dataset")?.u64_field("seed")?,
+            state,
+            has_store_snapshot,
+            prior_epochs,
+        })
+    }
+
+    /// The trainer-facing resume payload.
+    pub fn resume_state(&self) -> ResumeState {
+        ResumeState {
+            start_epoch: self.epochs_completed,
+            rng_state: self.rng_state,
+            state: self.state.clone(),
+            store_snapshot: self.has_store_snapshot.then(|| self.dir.join("partitions")),
+            prior_epochs: self.prior_epochs.clone(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest rendering.
+// ---------------------------------------------------------------------------
+
+fn manifest_json(s: &CheckpointSnapshot<'_>, entries: &[BlobEntry]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!(
+        "{{\"format\":\"{FORMAT}\",\"version\":{FORMAT_VERSION},\"task\":\"{}\",\
+         \"epochs_completed\":{},\"every\":{},\"eval_every\":{},",
+        json_escape(s.task_slug),
+        s.epochs_completed,
+        s.every,
+        s.eval_every,
+    ));
+    out.push_str(&format!(
+        "\"rng\":[\"{:#018x}\",\"{:#018x}\",\"{:#018x}\",\"{:#018x}\"],",
+        s.rng_state[0], s.rng_state[1], s.rng_state[2], s.rng_state[3]
+    ));
+    out.push_str(&format!(
+        "\"emulated_device\":{},",
+        emulated_device_to_json(s.emulated_device)
+    ));
+    out.push_str(&format!("\"model\":{},", model_to_json(s.model)));
+    out.push_str(&format!("\"train\":{},", train_to_json(s.train)));
+    out.push_str(&format!("\"storage\":{},", storage_to_json(s.storage)));
+    out.push_str(&format!("\"pipeline\":{},", pipeline_to_json(s.pipeline)));
+    out.push_str(&format!(
+        "\"dataset\":{},",
+        dataset_to_json(&s.data.spec, s.data.seed)
+    ));
+    out.push_str(&format!("\"store_snapshot\":{},", s.store.is_some()));
+    out.push_str("\"blobs\":[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"rows\":{},\"cols\":{},\"dtype\":\"{}\",\
+             \"offset\":{},\"len_bytes\":{},\"fnv64\":\"{:#018x}\"}}",
+            json_escape(&e.name),
+            e.rows,
+            e.cols,
+            e.dtype.as_str(),
+            e.offset,
+            e.len_bytes,
+            e.fnv64,
+        ));
+    }
+    out.push_str("],\"epochs\":[");
+    for (i, e) in s.report.epochs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&epoch_to_json(e));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn blob_entry_from_json(j: &Json) -> Result<BlobEntry> {
+    Ok(BlobEntry {
+        name: j.str_field("name")?.to_string(),
+        rows: j.u64_field("rows")? as usize,
+        cols: j.u64_field("cols")? as usize,
+        dtype: DType::parse(j.str_field("dtype")?)?,
+        offset: j.u64_field("offset")? as usize,
+        len_bytes: j.u64_field("len_bytes")? as usize,
+        fnv64: j.field("fnv64")?.as_hex_u64()?,
+    })
+}
+
+fn epoch_to_json(e: &EpochReport) -> String {
+    format!(
+        "{{\"epoch\":{},\"loss_bits\":\"{:#018x}\",\"metric_bits\":\"{:#018x}\",\
+         \"overlap_bits\":\"{:#018x}\",\
+         \"epoch_time_ns\":{},\"sample_time_ns\":{},\"compute_time_ns\":{},\
+         \"io_time_ns\":{},\"io_wait_time_ns\":{},\"stall_time_ns\":{},\
+         \"writeback_time_ns\":{},\"io_bytes_read\":{},\"io_bytes_written\":{},\
+         \"partition_loads\":{},\"examples\":{},\"nodes_sampled\":{},\"edges_sampled\":{}}}",
+        e.epoch,
+        e.loss.to_bits(),
+        e.metric.to_bits(),
+        e.overlap.to_bits(),
+        e.epoch_time.as_nanos(),
+        e.sample_time.as_nanos(),
+        e.compute_time.as_nanos(),
+        e.io_time.as_nanos(),
+        e.io_wait_time.as_nanos(),
+        e.stall_time.as_nanos(),
+        e.writeback_time.as_nanos(),
+        e.io_bytes_read,
+        e.io_bytes_written,
+        e.partition_loads,
+        e.examples,
+        e.nodes_sampled,
+        e.edges_sampled,
+    )
+}
+
+fn epoch_from_json(j: &Json) -> Result<EpochReport> {
+    let ns = |name: &str| -> Result<Duration> { Ok(Duration::from_nanos(j.u64_field(name)?)) };
+    Ok(EpochReport {
+        epoch: j.u64_field("epoch")? as usize,
+        loss: f64::from_bits(j.field("loss_bits")?.as_hex_u64()?),
+        metric: f64::from_bits(j.field("metric_bits")?.as_hex_u64()?),
+        overlap: f64::from_bits(j.field("overlap_bits")?.as_hex_u64()?),
+        epoch_time: ns("epoch_time_ns")?,
+        sample_time: ns("sample_time_ns")?,
+        compute_time: ns("compute_time_ns")?,
+        io_time: ns("io_time_ns")?,
+        io_wait_time: ns("io_wait_time_ns")?,
+        stall_time: ns("stall_time_ns")?,
+        writeback_time: ns("writeback_time_ns")?,
+        io_bytes_read: j.u64_field("io_bytes_read")?,
+        io_bytes_written: j.u64_field("io_bytes_written")?,
+        partition_loads: j.u64_field("partition_loads")? as usize,
+        examples: j.u64_field("examples")? as usize,
+        nodes_sampled: j.u64_field("nodes_sampled")? as usize,
+        edges_sampled: j.u64_field("edges_sampled")? as usize,
+    })
+}
+
+// Finite floats round-trip exactly through Rust's shortest-display formatting
+// (`format!("{v}")` emits the shortest string that parses back to the same
+// bits), so config floats — always finite — are stored as plain JSON numbers.
+
+fn model_to_json(m: &ModelConfig) -> String {
+    let encoder = match m.encoder {
+        crate::config::EncoderKind::GraphSage => "GraphSage",
+        crate::config::EncoderKind::Gat => "Gat",
+        crate::config::EncoderKind::Gcn => "Gcn",
+        crate::config::EncoderKind::None => "None",
+    };
+    let direction = match m.direction {
+        SamplingDirection::Incoming => "Incoming",
+        SamplingDirection::Outgoing => "Outgoing",
+        SamplingDirection::Both => "Both",
+    };
+    let fanouts: Vec<String> = m.fanouts.iter().map(|f| f.to_string()).collect();
+    format!(
+        "{{\"encoder\":\"{encoder}\",\"num_layers\":{},\"hidden_dim\":{},\"output_dim\":{},\
+         \"input_dim\":{},\"fanouts\":[{}],\"direction\":\"{direction}\",\
+         \"learning_rate\":{},\"embedding_learning_rate\":{}}}",
+        m.num_layers,
+        m.hidden_dim,
+        m.output_dim,
+        m.input_dim,
+        fanouts.join(","),
+        m.learning_rate,
+        m.embedding_learning_rate,
+    )
+}
+
+fn model_from_json(j: &Json) -> Result<ModelConfig> {
+    let encoder = match j.str_field("encoder")? {
+        "GraphSage" => crate::config::EncoderKind::GraphSage,
+        "Gat" => crate::config::EncoderKind::Gat,
+        "Gcn" => crate::config::EncoderKind::Gcn,
+        "None" => crate::config::EncoderKind::None,
+        other => return Err(corrupt(format!("unknown encoder kind {other:?}"))),
+    };
+    let direction = match j.str_field("direction")? {
+        "Incoming" => SamplingDirection::Incoming,
+        "Outgoing" => SamplingDirection::Outgoing,
+        "Both" => SamplingDirection::Both,
+        other => return Err(corrupt(format!("unknown sampling direction {other:?}"))),
+    };
+    let fanouts = j
+        .field("fanouts")?
+        .as_array()?
+        .iter()
+        .map(|f| f.as_u64().map(|v| v as usize))
+        .collect::<Result<Vec<usize>>>()?;
+    Ok(ModelConfig {
+        encoder,
+        num_layers: j.u64_field("num_layers")? as usize,
+        hidden_dim: j.u64_field("hidden_dim")? as usize,
+        output_dim: j.u64_field("output_dim")? as usize,
+        input_dim: j.u64_field("input_dim")? as usize,
+        fanouts,
+        direction,
+        learning_rate: j.f64_field("learning_rate")? as f32,
+        embedding_learning_rate: j.f64_field("embedding_learning_rate")? as f32,
+    })
+}
+
+fn emulated_device_to_json(io: Option<&IoCostModel>) -> String {
+    match io {
+        None => "null".to_string(),
+        Some(io) => format!(
+            "{{\"bandwidth_bytes_per_sec\":{},\"iops\":{},\"block_size\":{}}}",
+            io.bandwidth_bytes_per_sec, io.iops, io.block_size,
+        ),
+    }
+}
+
+fn emulated_device_from_json(j: &Json) -> Result<Option<IoCostModel>> {
+    match j {
+        Json::Null => Ok(None),
+        obj => Ok(Some(IoCostModel {
+            bandwidth_bytes_per_sec: obj.f64_field("bandwidth_bytes_per_sec")?,
+            iops: obj.f64_field("iops")?,
+            block_size: obj.u64_field("block_size")?,
+        })),
+    }
+}
+
+fn train_to_json(t: &TrainConfig) -> String {
+    format!(
+        "{{\"batch_size\":{},\"num_negatives\":{},\"eval_negatives\":{},\"epochs\":{},\
+         \"seed\":{},\"max_batches_per_epoch\":{}}}",
+        t.batch_size, t.num_negatives, t.eval_negatives, t.epochs, t.seed, t.max_batches_per_epoch,
+    )
+}
+
+fn train_from_json(j: &Json) -> Result<TrainConfig> {
+    Ok(TrainConfig {
+        batch_size: j.u64_field("batch_size")? as usize,
+        num_negatives: j.u64_field("num_negatives")? as usize,
+        eval_negatives: j.u64_field("eval_negatives")? as usize,
+        epochs: j.u64_field("epochs")? as usize,
+        seed: j.u64_field("seed")?,
+        max_batches_per_epoch: j.u64_field("max_batches_per_epoch")? as usize,
+    })
+}
+
+fn storage_to_json(s: &StorageKind) -> String {
+    match s {
+        StorageKind::InMemory => "{\"kind\":\"memory\"}".to_string(),
+        StorageKind::Disk(d) => {
+            let policy = match d.policy {
+                PolicyKind::Comet => "Comet",
+                PolicyKind::Beta => "Beta",
+                PolicyKind::NodeCache => "NodeCache",
+            };
+            format!(
+                "{{\"kind\":\"disk\",\"policy\":\"{policy}\",\"num_partitions\":{},\
+                 \"buffer_capacity\":{},\"num_logical\":{}}}",
+                d.num_partitions, d.buffer_capacity, d.num_logical,
+            )
+        }
+    }
+}
+
+fn storage_from_json(j: &Json) -> Result<StorageKind> {
+    match j.str_field("kind")? {
+        "memory" => Ok(StorageKind::InMemory),
+        "disk" => {
+            let policy = match j.str_field("policy")? {
+                "Comet" => PolicyKind::Comet,
+                "Beta" => PolicyKind::Beta,
+                "NodeCache" => PolicyKind::NodeCache,
+                other => return Err(corrupt(format!("unknown policy kind {other:?}"))),
+            };
+            Ok(StorageKind::Disk(DiskConfig {
+                policy,
+                num_partitions: j.u64_field("num_partitions")? as u32,
+                buffer_capacity: j.u64_field("buffer_capacity")? as usize,
+                num_logical: j.u64_field("num_logical")? as u32,
+            }))
+        }
+        other => Err(corrupt(format!("unknown storage kind {other:?}"))),
+    }
+}
+
+fn pipeline_to_json(p: &PipelineConfig) -> String {
+    format!(
+        "{{\"enabled\":{},\"num_sampling_workers\":{},\"queue_depth\":{},\
+         \"prefetch_depth\":{},\"writeback_depth\":{},\"synchronous_writeback\":{}}}",
+        p.enabled,
+        p.num_sampling_workers,
+        p.queue_depth,
+        p.prefetch_depth,
+        p.writeback_depth,
+        p.synchronous_writeback,
+    )
+}
+
+fn pipeline_from_json(j: &Json) -> Result<PipelineConfig> {
+    Ok(PipelineConfig {
+        enabled: j.bool_field("enabled")?,
+        num_sampling_workers: j.u64_field("num_sampling_workers")? as usize,
+        queue_depth: j.u64_field("queue_depth")? as usize,
+        prefetch_depth: j.u64_field("prefetch_depth")? as usize,
+        writeback_depth: j.u64_field("writeback_depth")? as usize,
+        synchronous_writeback: j.bool_field("synchronous_writeback")?,
+    })
+}
+
+fn dataset_to_json(spec: &DatasetSpec, seed: u64) -> String {
+    let task = match spec.task {
+        DatasetTask::LinkPrediction => "LinkPrediction",
+        DatasetTask::NodeClassification => "NodeClassification",
+    };
+    let classes = match spec.num_classes {
+        Some(c) => c.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"name\":\"{}\",\"num_nodes\":{},\"num_edges\":{},\"feat_dim\":{},\
+         \"num_relations\":{},\"num_classes\":{classes},\"train_fraction\":{},\
+         \"task\":\"{task}\",\"degree_exponent\":{},\"fixed_features\":{},\"seed\":{seed}}}",
+        json_escape(&spec.name),
+        spec.num_nodes,
+        spec.num_edges,
+        spec.feat_dim,
+        spec.num_relations,
+        spec.train_fraction,
+        spec.degree_exponent,
+        spec.fixed_features,
+    )
+}
+
+fn dataset_from_json(j: &Json) -> Result<DatasetSpec> {
+    let task = match j.str_field("task")? {
+        "LinkPrediction" => DatasetTask::LinkPrediction,
+        "NodeClassification" => DatasetTask::NodeClassification,
+        other => return Err(corrupt(format!("unknown dataset task {other:?}"))),
+    };
+    let num_classes = match j.field("num_classes")? {
+        Json::Null => None,
+        v => Some(v.as_u64()? as usize),
+    };
+    Ok(DatasetSpec {
+        name: j.str_field("name")?.to_string(),
+        num_nodes: j.u64_field("num_nodes")?,
+        num_edges: j.u64_field("num_edges")?,
+        feat_dim: j.u64_field("feat_dim")? as usize,
+        num_relations: j.u64_field("num_relations")? as u32,
+        num_classes,
+        train_fraction: j.f64_field("train_fraction")?,
+        task,
+        degree_exponent: j.f64_field("degree_exponent")?,
+        fixed_features: j.bool_field("fixed_features")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marius_graph::datasets::ScaledDataset;
+
+    fn temp_root(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "marius-ckpt-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_dict() -> StateDict {
+        let mut dict = StateDict::new();
+        dict.push_f32("model.w", 2, 3, &[1.0, -2.5, 3.25, 0.0, 0.5, 9.75]);
+        dict.push_u64("trainer.order", &[3, 1, 4, 1, 5]);
+        dict
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sample_snapshot<'a>(
+        data: &'a ScaledDataset,
+        model: &'a ModelConfig,
+        train: &'a TrainConfig,
+        storage: &'a StorageKind,
+        pipeline: &'a PipelineConfig,
+        dict: &'a StateDict,
+        report: &'a ExperimentReport,
+        epochs_completed: usize,
+    ) -> CheckpointSnapshot<'a> {
+        CheckpointSnapshot {
+            task_slug: "lp",
+            epochs_completed,
+            every: 1,
+            eval_every: 1,
+            rng_state: [1, 2, 3, u64::MAX],
+            emulated_device: None,
+            model,
+            train,
+            storage,
+            pipeline,
+            data,
+            state: dict,
+            store: None,
+            report,
+        }
+    }
+
+    #[test]
+    fn state_dict_roundtrips_through_encode_decode() {
+        let dict = sample_dict();
+        let (bytes, entries) = dict.encode();
+        let back = StateDict::decode(&entries, &bytes).unwrap();
+        assert_eq!(dict, back);
+        assert_eq!(back.require_f32("model.w", 2, 3).unwrap()[5], 9.75);
+        assert_eq!(
+            back.require_u64("trainer.order").unwrap(),
+            vec![3, 1, 4, 1, 5]
+        );
+    }
+
+    #[test]
+    fn decode_rejects_corruption_truncation_and_shape_lies() {
+        let dict = sample_dict();
+        let (mut bytes, entries) = dict.encode();
+        // Flip one payload byte: checksum mismatch.
+        bytes[5] ^= 0xff;
+        let err = StateDict::decode(&entries, &bytes).unwrap_err();
+        assert!(format!("{err}").contains("checksum"), "{err}");
+        // Truncate the buffer: out-of-range blob.
+        let (bytes, entries) = dict.encode();
+        let err = StateDict::decode(&entries, &bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(format!("{err}").contains("past the end"), "{err}");
+        // Lie about the shape: length/shape mismatch.
+        let mut bad = entries.clone();
+        bad[0].rows = 7;
+        let err = StateDict::decode(&bad, &bytes).unwrap_err();
+        assert!(format!("{err}").contains("shape"), "{err}");
+    }
+
+    #[test]
+    fn state_dict_lookup_errors_name_missing_and_dtype() {
+        let dict = sample_dict();
+        assert!(dict.require_f32("nope", 1, 1).is_err());
+        assert!(dict.require_f32("model.w", 3, 2).is_err());
+        assert!(dict.get("trainer.order").unwrap().as_f32().is_err());
+        assert!(dict.get("model.w").unwrap().as_u64().is_err());
+    }
+
+    #[test]
+    fn versioned_write_open_roundtrip_and_latest_pointer() {
+        let root = temp_root("roundtrip");
+        let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.002), 7);
+        let model = ModelConfig::paper_distmult(8);
+        let mut train = TrainConfig::quick(4, 9);
+        train.batch_size = 64;
+        let storage = StorageKind::Disk(DiskConfig::comet(8, 4));
+        let pipeline = PipelineConfig::with_workers(2);
+        let dict = sample_dict();
+        let mut report = ExperimentReport::new("test", "data");
+        report.epochs.push(EpochReport {
+            epoch: 0,
+            loss: 2.25,
+            metric: f64::NAN,
+            examples: 42,
+            epoch_time: Duration::from_nanos(123_456_789),
+            ..Default::default()
+        });
+
+        let snap = sample_snapshot(
+            &data, &model, &train, &storage, &pipeline, &dict, &report, 1,
+        );
+        write_versioned(&root, &snap).unwrap();
+
+        let ckpt = Checkpoint::open(&root).unwrap();
+        assert_eq!(ckpt.task_slug, "lp");
+        assert_eq!(ckpt.epochs_completed, 1);
+        assert_eq!(ckpt.rng_state, [1, 2, 3, u64::MAX]);
+        assert_eq!(ckpt.train.epochs, 4);
+        assert_eq!(ckpt.train.batch_size, 64);
+        assert_eq!(ckpt.model.input_dim, 8);
+        assert!(matches!(ckpt.storage, StorageKind::Disk(ref d) if d.num_partitions == 8));
+        assert!(ckpt.pipeline.enabled);
+        assert_eq!(ckpt.dataset_spec, data.spec);
+        assert_eq!(ckpt.dataset_seed, 7);
+        assert_eq!(ckpt.state, dict);
+        assert!(!ckpt.has_store_snapshot);
+        assert_eq!(ckpt.prior_epochs.len(), 1);
+        // Bit-exact epoch fields, including the NaN metric.
+        assert_eq!(ckpt.prior_epochs[0].loss.to_bits(), 2.25f64.to_bits());
+        assert!(ckpt.prior_epochs[0].metric.is_nan());
+        assert_eq!(
+            ckpt.prior_epochs[0].epoch_time,
+            Duration::from_nanos(123_456_789)
+        );
+
+        let resume = ckpt.resume_state();
+        assert_eq!(resume.start_epoch, 1);
+        assert!(resume.store_snapshot.is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn newer_versions_win_and_old_ones_are_pruned() {
+        let root = temp_root("prune");
+        let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.002), 7);
+        let model = ModelConfig::paper_distmult(8);
+        let train = TrainConfig::quick(4, 9);
+        let storage = StorageKind::InMemory;
+        let pipeline = PipelineConfig::disabled();
+        let dict = sample_dict();
+        let report = ExperimentReport::new("t", "d");
+        for completed in 1..=3 {
+            let snap = sample_snapshot(
+                &data, &model, &train, &storage, &pipeline, &dict, &report, completed,
+            );
+            write_versioned(&root, &snap).unwrap();
+        }
+        let ckpt = Checkpoint::open(&root).unwrap();
+        assert_eq!(ckpt.epochs_completed, 3);
+        // Newest two survive; epoch-000001 is pruned.
+        assert!(root.join("epoch-000003").is_dir());
+        assert!(root.join("epoch-000002").is_dir());
+        assert!(!root.join("epoch-000001").exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn emulated_device_round_trips_through_the_manifest() {
+        let root = temp_root("emulated");
+        let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.002), 7);
+        let model = ModelConfig::paper_distmult(8);
+        let train = TrainConfig::quick(2, 9);
+        let storage = StorageKind::InMemory;
+        let pipeline = PipelineConfig::disabled();
+        let dict = sample_dict();
+        let report = ExperimentReport::new("t", "d");
+        let io = IoCostModel {
+            bandwidth_bytes_per_sec: 1.25e9,
+            iops: 10_000.0,
+            block_size: 131_072,
+        };
+        let mut snap = sample_snapshot(
+            &data, &model, &train, &storage, &pipeline, &dict, &report, 1,
+        );
+        snap.emulated_device = Some(&io);
+        write_versioned(&root, &snap).unwrap();
+        let ckpt = Checkpoint::open(&root).unwrap();
+        let restored = ckpt.emulated_device.expect("device persisted");
+        assert_eq!(
+            restored.bandwidth_bytes_per_sec.to_bits(),
+            io.bandwidth_bytes_per_sec.to_bits()
+        );
+        assert_eq!(restored.iops.to_bits(), io.iops.to_bits());
+        assert_eq!(restored.block_size, io.block_size);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn open_falls_back_to_the_newest_complete_version_when_latest_dangles() {
+        let root = temp_root("dangle");
+        let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.002), 7);
+        let model = ModelConfig::paper_distmult(8);
+        let train = TrainConfig::quick(4, 9);
+        let storage = StorageKind::InMemory;
+        let pipeline = PipelineConfig::disabled();
+        let dict = sample_dict();
+        let report = ExperimentReport::new("t", "d");
+        for completed in 1..=2 {
+            let snap = sample_snapshot(
+                &data, &model, &train, &storage, &pipeline, &dict, &report, completed,
+            );
+            write_versioned(&root, &snap).unwrap();
+        }
+        // A crash in write_versioned's rename-aside window: LATEST names a
+        // version that no longer exists. Open resolves the newest complete
+        // one instead of failing.
+        fs::remove_dir_all(root.join("epoch-000002")).unwrap();
+        assert_eq!(
+            fs::read_to_string(root.join("LATEST")).unwrap(),
+            "epoch-000002"
+        );
+        let ckpt = Checkpoint::open(&root).unwrap();
+        assert_eq!(ckpt.epochs_completed, 1);
+        // With nothing loadable left, the LATEST error is reported.
+        fs::remove_dir_all(root.join("epoch-000001")).unwrap();
+        assert!(Checkpoint::open(&root).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corruption_of_the_named_version_fails_loudly_instead_of_rewinding() {
+        let root = temp_root("no-silent-rewind");
+        let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.002), 7);
+        let model = ModelConfig::paper_distmult(8);
+        let train = TrainConfig::quick(4, 9);
+        let storage = StorageKind::InMemory;
+        let pipeline = PipelineConfig::disabled();
+        let dict = sample_dict();
+        let report = ExperimentReport::new("t", "d");
+        for completed in 1..=2 {
+            let snap = sample_snapshot(
+                &data, &model, &train, &storage, &pipeline, &dict, &report, completed,
+            );
+            write_versioned(&root, &snap).unwrap();
+        }
+        // Bit rot in the newest version: open must NOT silently fall back to
+        // epoch-000001 (that would rewind training progress unnoticed).
+        let bin_path = root.join("epoch-000002/state.bin");
+        let mut bin = fs::read(&bin_path).unwrap();
+        bin[0] ^= 0xff;
+        fs::write(&bin_path, bin).unwrap();
+        let err = Checkpoint::open(&root).unwrap_err();
+        assert!(format!("{err}").contains("checksum"), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn re_checkpointing_the_same_epoch_replaces_the_version() {
+        // A run restarted from scratch over an old checkpoint directory
+        // rewrites the same version name; the newer bytes win and the old
+        // version is never deleted while LATEST still names it (it is
+        // renamed aside and dropped after the swap).
+        let root = temp_root("replace");
+        let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.002), 7);
+        let model = ModelConfig::paper_distmult(8);
+        let train = TrainConfig::quick(2, 9);
+        let storage = StorageKind::InMemory;
+        let pipeline = PipelineConfig::disabled();
+        let dict = sample_dict();
+        let report = ExperimentReport::new("t", "d");
+        let mut snap = sample_snapshot(
+            &data, &model, &train, &storage, &pipeline, &dict, &report, 1,
+        );
+        write_versioned(&root, &snap).unwrap();
+        snap.rng_state = [9, 9, 9, 9];
+        write_versioned(&root, &snap).unwrap();
+        let ckpt = Checkpoint::open(&root).unwrap();
+        assert_eq!(ckpt.rng_state, [9, 9, 9, 9]);
+        assert!(!root.join("epoch-000001.old.tmp").exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_staging_dirs_are_invisible_to_open() {
+        let root = temp_root("torn");
+        let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.002), 7);
+        let model = ModelConfig::paper_distmult(8);
+        let train = TrainConfig::quick(4, 9);
+        let storage = StorageKind::InMemory;
+        let pipeline = PipelineConfig::disabled();
+        let dict = sample_dict();
+        let report = ExperimentReport::new("t", "d");
+        let snap = sample_snapshot(
+            &data, &model, &train, &storage, &pipeline, &dict, &report, 2,
+        );
+        write_versioned(&root, &snap).unwrap();
+        // Simulate a crash mid-write of the *next* version: a partial staging
+        // dir with a truncated manifest. LATEST still names epoch-000002.
+        let staging = root.join("epoch-000003.tmp");
+        fs::create_dir_all(&staging).unwrap();
+        fs::write(staging.join("manifest.json"), "{\"format\":\"marius-ch").unwrap();
+        let ckpt = Checkpoint::open(&root).unwrap();
+        assert_eq!(ckpt.epochs_completed, 2);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn open_rejects_missing_roots_and_truncated_manifests() {
+        let root = temp_root("reject");
+        let err = Checkpoint::open(&root).unwrap_err();
+        assert!(format!("{err}").contains("no checkpoint"), "{err}");
+        // A LATEST pointing at a version whose manifest is truncated.
+        fs::create_dir_all(root.join("epoch-000001")).unwrap();
+        fs::write(root.join("LATEST"), "epoch-000001").unwrap();
+        fs::write(root.join("epoch-000001/manifest.json"), "{\"format\":").unwrap();
+        let err = Checkpoint::open(&root).unwrap_err();
+        assert!(format!("{err}").contains("invalid"), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn embedding_table_persists_values_and_optimizer_state() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut table = EmbeddingTable::new(6, 4, 0.1, &mut rng);
+        table.apply_sparse_update(&[2], &marius_tensor::Tensor::ones(1, 4));
+        let mut dict = StateDict::new();
+        table.save_state(&mut dict);
+        let mut fresh = EmbeddingTable::new(6, 4, 0.1, &mut rng);
+        fresh.load_state(&dict).unwrap();
+        assert_eq!(fresh.raw_values(), table.raw_values());
+        assert_eq!(fresh.raw_state(), table.raw_state());
+        // Dimension mismatch is rejected.
+        let mut wrong = EmbeddingTable::new(6, 3, 0.1, &mut rng);
+        assert!(wrong.load_state(&dict).is_err());
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

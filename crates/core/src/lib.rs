@@ -28,6 +28,11 @@
 //! * [`report`] — experiment reporting structures (with JSON export) shared by
 //!   the examples and the benchmark harnesses that regenerate the paper's
 //!   tables.
+//! * [`checkpoint`] — the durable-state contract: [`checkpoint::StateDict`]
+//!   blobs behind the [`checkpoint::Persist`] trait, and the versioned
+//!   temp-dir + rename checkpoint layout that lets a resumed run reproduce the
+//!   uninterrupted run's loss trajectory bit-for-bit (see that module's docs
+//!   for the on-disk format).
 //!
 //! Downstream users who just want to train something should start from the
 //! `marius::Session` builder in the workspace root crate, which wraps this
@@ -35,6 +40,7 @@
 //! `NodeClassificationTrainer` names of earlier revisions remain available as
 //! deprecated aliases of `Trainer<T>`.
 
+pub mod checkpoint;
 pub mod config;
 pub mod models;
 pub mod report;
@@ -42,6 +48,7 @@ pub mod source;
 pub mod task;
 pub mod trainer;
 
+pub use checkpoint::{Checkpoint, Persist, ResumeState, StateDict, StorageKind};
 pub use config::{DiskConfig, EncoderKind, ModelConfig, PipelineConfig, PolicyKind, TrainConfig};
 pub use models::{
     LinkBatchBuilder, LinkPredictionModel, NodeBatchBuilder, NodeClassificationModel,

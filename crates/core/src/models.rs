@@ -1,10 +1,11 @@
 //! Trainable models: encoder + decoder with full mini-batch train/eval steps.
 
+use crate::checkpoint::{Persist, StateDict};
 use crate::config::{EncoderKind, ModelConfig};
 use crate::source::RepresentationSource;
 use marius_gnn::layers::{Aggregator, GatLayer, GcnLayer, GraphSageLayer};
 use marius_gnn::loss::{ranking_softmax_loss, softmax_cross_entropy};
-use marius_gnn::{ClassifierHead, DistMult, Encoder, Optimizer};
+use marius_gnn::{ClassifierHead, DistMult, Encoder, Optimizer, Param};
 use marius_graph::{Edge, InMemorySubgraph, NodeId};
 use marius_sampling::{MultiHopSampler, NegativeSampler, RankingProtocol};
 use marius_tensor::segment::index_add;
@@ -59,6 +60,51 @@ pub fn build_encoder<R: Rng + ?Sized>(config: &ModelConfig, rng: &mut R) -> Enco
         encoder = encoder.push_layer(boxed);
     }
     encoder
+}
+
+// ---------------------------------------------------------------------------
+// Durable model state: the Persist impls behind Task::save_state/load_state.
+//
+// Blob names (`model.encoder.l{i}.p{j}`, `model.decoder.relations`,
+// `model.head.p{j}`) index parameters positionally — layer order and the
+// per-layer params() order are part of the checkpoint contract. Each
+// parameter persists both its value and its Adagrad accumulator; gradients
+// are transient (always zero at an epoch boundary) and are cleared on load.
+// ---------------------------------------------------------------------------
+
+fn save_param(dict: &mut StateDict, prefix: &str, p: &Param) {
+    let (r, c) = p.value.shape();
+    dict.push_f32(format!("{prefix}.value"), r, c, p.value.data());
+    let (sr, sc) = p.adagrad_state.shape();
+    dict.push_f32(format!("{prefix}.adagrad"), sr, sc, p.adagrad_state.data());
+}
+
+fn load_param(dict: &StateDict, prefix: &str, p: &mut Param) -> marius_storage::Result<()> {
+    let (r, c) = p.value.shape();
+    let value = dict.require_f32(&format!("{prefix}.value"), r, c)?;
+    p.value.data_mut().copy_from_slice(&value);
+    let (sr, sc) = p.adagrad_state.shape();
+    let state = dict.require_f32(&format!("{prefix}.adagrad"), sr, sc)?;
+    p.adagrad_state.data_mut().copy_from_slice(&state);
+    p.zero_grad();
+    Ok(())
+}
+
+fn save_encoder(dict: &mut StateDict, encoder: &Encoder) {
+    for (li, layer) in encoder.layers().iter().enumerate() {
+        for (pi, p) in layer.params().iter().enumerate() {
+            save_param(dict, &format!("model.encoder.l{li}.p{pi}"), p);
+        }
+    }
+}
+
+fn load_encoder(dict: &StateDict, encoder: &mut Encoder) -> marius_storage::Result<()> {
+    for (li, layer) in encoder.layers_mut().iter_mut().enumerate() {
+        for (pi, p) in layer.params_mut().into_iter().enumerate() {
+            load_param(dict, &format!("model.encoder.l{li}.p{pi}"), p)?;
+        }
+    }
+    Ok(())
 }
 
 /// The CPU-side half of a link-prediction training step: negative sampling,
@@ -367,6 +413,26 @@ impl LinkPredictionModel {
     }
 }
 
+impl Persist for LinkPredictionModel {
+    fn save_state(&self, dict: &mut StateDict) {
+        save_encoder(dict, &self.encoder);
+        save_param(
+            dict,
+            "model.decoder.relations",
+            self.decoder.relation_param(),
+        );
+    }
+
+    fn load_state(&mut self, dict: &StateDict) -> marius_storage::Result<()> {
+        load_encoder(dict, &mut self.encoder)?;
+        load_param(
+            dict,
+            "model.decoder.relations",
+            self.decoder.relation_param_mut(),
+        )
+    }
+}
+
 /// The CPU-side half of a node-classification training step: DENSE multi-hop
 /// sampling plus label alignment. `Clone + Send + Sync` for the same reason as
 /// [`LinkBatchBuilder`].
@@ -543,6 +609,23 @@ impl NodeClassificationModel {
             }
         }
         correct as f64 / total.max(1) as f64
+    }
+}
+
+impl Persist for NodeClassificationModel {
+    fn save_state(&self, dict: &mut StateDict) {
+        save_encoder(dict, &self.encoder);
+        for (pi, p) in self.head.params().iter().enumerate() {
+            save_param(dict, &format!("model.head.p{pi}"), p);
+        }
+    }
+
+    fn load_state(&mut self, dict: &StateDict) -> marius_storage::Result<()> {
+        load_encoder(dict, &mut self.encoder)?;
+        for (pi, p) in self.head.params_mut().into_iter().enumerate() {
+            load_param(dict, &format!("model.head.p{pi}"), p)?;
+        }
+        Ok(())
     }
 }
 
@@ -737,6 +820,42 @@ mod tests {
         assert!(stats.nodes_sampled > 0);
         assert!(stats.examples == 32);
         assert!(stats.sample_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn model_state_roundtrips_and_rejects_architecture_mismatch() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let config = ModelConfig::paper_link_prediction_graphsage(8).shrunk(5, 8);
+        let model = LinkPredictionModel::new(&config, 4, &mut rng).with_negatives(8);
+        let mut dict = StateDict::new();
+        model.save_state(&mut dict);
+        // Encoder value + adagrad per param, plus the decoder's relation param.
+        assert!(dict.get("model.encoder.l0.p0.value").is_some());
+        assert!(dict.get("model.decoder.relations.adagrad").is_some());
+        // A same-architecture twin restores to identical parameters.
+        let mut twin = LinkPredictionModel::new(&config, 4, &mut rng).with_negatives(8);
+        twin.load_state(&dict).unwrap();
+        let mut twin_dict = StateDict::new();
+        twin.save_state(&mut twin_dict);
+        assert_eq!(dict, twin_dict);
+        // A different architecture (wrong dims) must refuse to load.
+        let other_config = ModelConfig::paper_link_prediction_graphsage(16).shrunk(5, 16);
+        let mut other = LinkPredictionModel::new(&other_config, 4, &mut rng);
+        assert!(other.load_state(&dict).is_err());
+
+        // Node classification round-trips too (encoder + head).
+        let mut nc_config = ModelConfig::paper_node_classification(12, 8);
+        nc_config.num_layers = 1;
+        nc_config.fanouts = vec![4];
+        let nc = NodeClassificationModel::new(&nc_config, 5, &mut rng);
+        let mut nc_dict = StateDict::new();
+        nc.save_state(&mut nc_dict);
+        assert!(nc_dict.get("model.head.p0.value").is_some());
+        let mut nc_twin = NodeClassificationModel::new(&nc_config, 5, &mut rng);
+        nc_twin.load_state(&nc_dict).unwrap();
+        let mut nc_twin_dict = StateDict::new();
+        nc_twin.save_state(&mut nc_twin_dict);
+        assert_eq!(nc_dict, nc_twin_dict);
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! rows for the nodes in a DENSE sample and, for learnable representations, write
 //! sparse gradient updates back (Figure 2 steps 4 and 6).
 
+use crate::checkpoint::{Persist, StateDict};
 use marius_gnn::EmbeddingTable;
 use marius_graph::datasets::FeatureMatrix;
 use marius_graph::NodeId;
-use marius_storage::PartitionBuffer;
+use marius_storage::{PartitionBuffer, Result};
 use marius_tensor::Tensor;
 
 /// A source of per-node base representations.
@@ -26,6 +27,18 @@ pub trait RepresentationSource {
 
     /// Whether the representations are learnable.
     fn learnable(&self) -> bool;
+
+    /// Appends the source's durable state to a checkpoint dictionary. Sources
+    /// whose contents are re-derivable from the dataset (fixed features) or
+    /// persisted elsewhere (the partition buffer's store is snapshotted
+    /// file-by-file) contribute nothing — the default.
+    fn save_state(&self, _dict: &mut StateDict) {}
+
+    /// Restores the source's durable state from a checkpoint dictionary.
+    /// No-op by default, mirroring [`RepresentationSource::save_state`].
+    fn load_state(&mut self, _dict: &StateDict) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// In-memory learnable embeddings backed by an [`EmbeddingTable`].
@@ -61,6 +74,14 @@ impl RepresentationSource for TableSource {
 
     fn learnable(&self) -> bool {
         true
+    }
+
+    fn save_state(&self, dict: &mut StateDict) {
+        self.table.save_state(dict);
+    }
+
+    fn load_state(&mut self, dict: &StateDict) -> Result<()> {
+        self.table.load_state(dict)
     }
 }
 
@@ -134,6 +155,21 @@ mod tests {
         source.apply_update(&[3], &Tensor::ones(1, 4));
         let after = source.gather(&[3]);
         assert_ne!(before, after);
+    }
+
+    #[test]
+    fn table_source_state_roundtrips_through_a_state_dict() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let table = EmbeddingTable::new(8, 3, 0.1, &mut rng);
+        let mut source = TableSource::new(table);
+        source.apply_update(&[1, 4], &Tensor::ones(2, 3));
+        let mut dict = StateDict::new();
+        source.save_state(&mut dict);
+        let fresh_table = EmbeddingTable::new(8, 3, 0.1, &mut rng);
+        let mut fresh = TableSource::new(fresh_table);
+        fresh.load_state(&dict).unwrap();
+        assert_eq!(fresh.gather(&[0, 1, 4, 7]), source.gather(&[0, 1, 4, 7]));
+        assert_eq!(fresh.table().raw_state(), source.table().raw_state());
     }
 
     #[test]

@@ -257,4 +257,18 @@ impl Task for LinkPredictionTask {
             rng,
         )
     }
+
+    fn save_state(&self, model: &Self::Model, dict: &mut crate::checkpoint::StateDict) {
+        use crate::checkpoint::Persist;
+        model.save_state(dict);
+    }
+
+    fn load_state(
+        &self,
+        model: &mut Self::Model,
+        dict: &crate::checkpoint::StateDict,
+    ) -> Result<()> {
+        use crate::checkpoint::Persist;
+        model.load_state(dict)
+    }
 }

@@ -233,4 +233,20 @@ pub trait Task: Sync {
         train: &TrainConfig,
         rng: &mut StdRng,
     ) -> f64;
+
+    /// Appends the model's durable state (parameters *and* optimizer
+    /// accumulators) to a checkpoint dictionary. Together with
+    /// [`Task::load_state`] this is the task half of the durable-state
+    /// contract: `Trainer<T>` checkpoints every task through this one generic
+    /// code path (see [`crate::checkpoint`] for the on-disk format).
+    fn save_state(&self, model: &Self::Model, dict: &mut crate::checkpoint::StateDict);
+
+    /// Restores the model's durable state from a checkpoint dictionary,
+    /// rejecting missing blobs or shape mismatches (a checkpoint from a
+    /// different architecture must fail loudly, not load partially).
+    fn load_state(
+        &self,
+        model: &mut Self::Model,
+        dict: &crate::checkpoint::StateDict,
+    ) -> Result<()>;
 }

@@ -37,23 +37,31 @@
 //! [`LinkPredictionTrainer`] and [`NodeClassificationTrainer`] are
 //! `Trainer<LinkPredictionTask>` and `Trainer<NodeClassificationTask>`.
 
+use crate::checkpoint::{CheckpointSnapshot, ResumeState, StateDict, StorageKind};
 use crate::config::{DiskConfig, ModelConfig, PipelineConfig, TrainConfig};
 use crate::models::BatchStats;
 use crate::report::{EpochReport, ExperimentReport};
 use crate::task::{DiskSetup, LinkPredictionTask, NodeClassificationTask, Task};
 use marius_graph::datasets::ScaledDataset;
 use marius_graph::PartitionAssignment;
-use marius_pipeline::{step_seed, Pipeline};
-use marius_storage::{IoCostModel, PartitionStore, Result};
+use marius_pipeline::{step_seed, writeback_safe_point, Pipeline};
+use marius_storage::{IoCostModel, PartitionStore, Result, StorageError};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// A callback invoked after every completed epoch (metrics are final for the
 /// epoch when it runs). Used by the `marius::Session` facade for progress
-/// reporting and checkpointing.
-pub type EpochHook = Box<dyn Fn(&EpochReport) + Send + Sync>;
+/// reporting. A hook failure aborts training and propagates as the run's
+/// [`StorageError`] — hooks that write to disk (progress mirrors, metrics
+/// exporters) surface their IO errors instead of panicking or being dropped.
+pub type EpochHook = Box<dyn Fn(&EpochReport) -> Result<()> + Send + Sync>;
+
+/// Blob name of the in-memory example-order permutation (the cross-epoch
+/// shuffle state of [`Trainer::train_in_memory`]).
+const EXAMPLE_ORDER_BLOB: &str = "trainer.example_order";
 
 /// Reads every node partition back from disk and assembles a flat
 /// `num_nodes × dim` embedding buffer indexed by global node id. Used to run
@@ -126,6 +134,13 @@ pub struct Trainer<T: Task> {
     /// changing the cadence changes subsequent epochs' trajectories.
     pub eval_every: usize,
     epoch_hook: Option<EpochHook>,
+    /// Full durable checkpoints (root directory, cadence in epochs) written at
+    /// epoch boundaries; see [`crate::checkpoint`] for the layout.
+    checkpoint: Option<(PathBuf, usize)>,
+    /// When set, training continues a checkpointed run instead of starting
+    /// fresh: construction replays deterministically, then the saved state and
+    /// RNG cursor are overlaid.
+    resume: Option<ResumeState>,
 }
 
 impl<T: Task + Default> Trainer<T> {
@@ -148,6 +163,8 @@ impl<T: Task> Trainer<T> {
             emulate_device: false,
             eval_every: 1,
             epoch_hook: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 
@@ -174,19 +191,123 @@ impl<T: Task> Trainer<T> {
 
     /// Installs a callback invoked after every completed epoch.
     pub fn with_epoch_hook(mut self, hook: impl Fn(&EpochReport) + Send + Sync + 'static) -> Self {
+        self.epoch_hook = Some(Box::new(move |epoch| {
+            hook(epoch);
+            Ok(())
+        }));
+        self
+    }
+
+    /// Installs a fallible epoch callback: an `Err` aborts the run and
+    /// propagates to the `train_*` caller.
+    pub fn with_fallible_epoch_hook(
+        mut self,
+        hook: impl Fn(&EpochReport) -> Result<()> + Send + Sync + 'static,
+    ) -> Self {
         self.epoch_hook = Some(Box::new(hook));
         self
     }
 
-    fn should_evaluate(&self, epoch_idx: usize) -> bool {
-        let every = self.eval_every.max(1);
-        (epoch_idx + 1).is_multiple_of(every) || epoch_idx + 1 == self.train.epochs
+    /// Writes a full durable checkpoint (model parameters, optimizer state,
+    /// embedding store, RNG cursor, progress) under `dir` every `every`
+    /// epochs, and always after the final epoch. See [`crate::checkpoint`]
+    /// for the on-disk layout and [`Trainer::with_resume`] for the way back.
+    pub fn with_checkpoint(mut self, dir: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint = Some((dir.into(), every.max(1)));
+        self
     }
 
-    fn epoch_done(&self, report: &ExperimentReport) {
-        if let (Some(hook), Some(epoch)) = (&self.epoch_hook, report.epochs.last()) {
-            hook(epoch);
+    /// Continues a checkpointed run: training starts at the checkpoint's
+    /// epoch counter with the saved model/source state and RNG cursor, and
+    /// the returned report covers the prior epochs too. The trainer's
+    /// configuration must match the checkpointed run's (the
+    /// `marius::Session::resume_from` facade guarantees this by rebuilding
+    /// the configuration from the manifest).
+    pub fn with_resume(mut self, resume: ResumeState) -> Self {
+        self.resume = Some(resume);
+        self
+    }
+
+    /// Whether epoch `epoch_idx` evaluates because the cadence says so
+    /// (ignoring the forced final-epoch evaluation).
+    fn cadence_evaluates(&self, epoch_idx: usize) -> bool {
+        (epoch_idx + 1).is_multiple_of(self.eval_every.max(1))
+    }
+
+    fn should_evaluate(&self, epoch_idx: usize) -> bool {
+        self.cadence_evaluates(epoch_idx) || epoch_idx + 1 == self.train.epochs
+    }
+
+    /// The RNG cursor a checkpoint written after epoch `epoch_idx` must
+    /// record. A final-epoch evaluation that the cadence alone would not have
+    /// performed is *off-stream*: a longer run never makes those draws at
+    /// this epoch, so leaking them into the cursor would make a
+    /// `resume_from_until` continuation diverge from the longer run's
+    /// trajectory. Cadence evaluations' draws are part of every run's stream
+    /// and are kept.
+    fn checkpoint_rng_state(&self, epoch_idx: usize, pre_eval: [u64; 4], rng: &StdRng) -> [u64; 4] {
+        if self.cadence_evaluates(epoch_idx) {
+            rng.state()
+        } else {
+            pre_eval
         }
+    }
+
+    fn should_checkpoint(&self, epoch_idx: usize) -> bool {
+        match &self.checkpoint {
+            Some((_, every)) => {
+                (epoch_idx + 1).is_multiple_of(*every) || epoch_idx + 1 == self.train.epochs
+            }
+            None => false,
+        }
+    }
+
+    fn epoch_done(&self, report: &ExperimentReport) -> Result<()> {
+        if let (Some(hook), Some(epoch)) = (&self.epoch_hook, report.epochs.last()) {
+            hook(epoch)?;
+        }
+        Ok(())
+    }
+
+    /// The one generic checkpoint code path both executors funnel through:
+    /// assembles the manifest payload and writes a versioned checkpoint.
+    /// `state` carries the task's model blobs plus any executor-specific
+    /// blobs (in-memory source dump, example order); `store` is the partition
+    /// store to snapshot (disk runs with write-back), which must be at a
+    /// write-back safe point.
+    #[allow(clippy::too_many_arguments)]
+    fn write_checkpoint(
+        &self,
+        data: &ScaledDataset,
+        storage: &StorageKind,
+        epochs_completed: usize,
+        rng_state: [u64; 4],
+        state: &StateDict,
+        store: Option<&PartitionStore>,
+        report: &ExperimentReport,
+    ) -> Result<()> {
+        let (dir, every) = self
+            .checkpoint
+            .as_ref()
+            .expect("write_checkpoint called without a checkpoint configuration");
+        let snapshot = CheckpointSnapshot {
+            task_slug: self.task.slug(),
+            epochs_completed,
+            every: *every,
+            eval_every: self.eval_every,
+            rng_state,
+            emulated_device: self.emulate_device.then_some(&self.io_model),
+            model: &self.model,
+            train: &self.train,
+            storage,
+            pipeline: &self.pipeline,
+            data,
+            state,
+            store,
+            report,
+        };
+        crate::checkpoint::write_versioned(dir, &snapshot)?;
+        Ok(())
     }
 
     /// Trains with the full graph in memory (the M-GNN_Mem configuration).
@@ -204,16 +325,46 @@ impl<T: Task> Trainer<T> {
         // In-memory training evaluates over the training graph itself, so the
         // evaluation context shares the subgraph instead of rebuilding it.
         let eval_ctx = self.task.in_memory_eval_context(data, &subgraph);
-        let mut examples = self.task.in_memory_examples(data);
+        let examples = self.task.in_memory_examples(data);
+        // The shuffle permutes an index vector rather than the examples, so
+        // the cross-epoch shuffle state is a compact, checkpointable value
+        // (shuffling draws only depend on length, so trajectories are
+        // unchanged relative to shuffling the examples directly). The
+        // permuted examples are materialised once per epoch into a reused
+        // scratch buffer, keeping the batch loop allocation-free.
+        let mut order: Vec<u64> = (0..examples.len() as u64).collect();
+        let mut permuted: Vec<T::Example> = Vec::with_capacity(examples.len());
 
-        for epoch_idx in 0..self.train.epochs {
+        // Resuming: construction above replayed the fresh run's RNG draws;
+        // now overlay the checkpointed state and jump to its epoch.
+        let mut start_epoch = 0usize;
+        if let Some(resume) = &self.resume {
+            self.task.load_state(&mut model, &resume.state)?;
+            source.load_state(&resume.state)?;
+            let saved_order = resume.state.require_u64(EXAMPLE_ORDER_BLOB)?;
+            if saved_order.len() != examples.len() {
+                return Err(StorageError::checkpoint(format!(
+                    "checkpointed example order covers {} examples, dataset has {}",
+                    saved_order.len(),
+                    examples.len()
+                )));
+            }
+            order = saved_order;
+            rng = StdRng::from_raw_state(resume.rng_state);
+            start_epoch = resume.start_epoch;
+            report.epochs = resume.prior_epochs.clone();
+        }
+
+        for epoch_idx in start_epoch..self.train.epochs {
             let mut epoch = EpochReport {
                 epoch: epoch_idx,
                 ..Default::default()
             };
             let start = Instant::now();
-            examples.shuffle(&mut rng);
-            for (i, batch) in examples.chunks(self.train.batch_size).enumerate() {
+            order.shuffle(&mut rng);
+            permuted.clear();
+            permuted.extend(order.iter().map(|&i| examples[i as usize].clone()));
+            for (i, batch) in permuted.chunks(self.train.batch_size).enumerate() {
                 if self.train.max_batches_per_epoch > 0 && i >= self.train.max_batches_per_epoch {
                     break;
                 }
@@ -226,6 +377,7 @@ impl<T: Task> Trainer<T> {
                 accumulate(&mut epoch, &stats);
             }
             epoch.epoch_time = start.elapsed();
+            let pre_eval_rng = rng.state();
             epoch.metric = if self.should_evaluate(epoch_idx) {
                 self.task.evaluate(
                     &model,
@@ -240,7 +392,22 @@ impl<T: Task> Trainer<T> {
             };
             finalize(&mut epoch);
             report.epochs.push(epoch);
-            self.epoch_done(&report);
+            self.epoch_done(&report)?;
+            if self.should_checkpoint(epoch_idx) {
+                let mut state = StateDict::new();
+                self.task.save_state(&model, &mut state);
+                source.save_state(&mut state);
+                state.push_u64(EXAMPLE_ORDER_BLOB, &order);
+                self.write_checkpoint(
+                    data,
+                    &StorageKind::InMemory,
+                    epoch_idx + 1,
+                    self.checkpoint_rng_state(epoch_idx, pre_eval_rng, &rng),
+                    &state,
+                    None,
+                    &report,
+                )?;
+            }
         }
         Ok(report)
     }
@@ -404,7 +571,22 @@ impl<T: Task> Trainer<T> {
         // are reassembled from disk after each epoch's flush.
         let mut static_eval_source: Option<Box<dyn crate::source::RepresentationSource>> = None;
 
-        for epoch_idx in 0..self.train.epochs {
+        // Resuming: disk_setup/build_model above replayed the fresh run's RNG
+        // draws (reproducing the partition assignment the snapshot's files
+        // are laid out by); now overlay the checkpointed partition bytes and
+        // model state, restore the RNG cursor, and jump to the saved epoch.
+        let mut start_epoch = 0usize;
+        if let Some(resume) = &self.resume {
+            if let Some(snapshot) = &resume.store_snapshot {
+                setup.store.restore_from(snapshot)?;
+            }
+            self.task.load_state(&mut model, &resume.state)?;
+            rng = StdRng::from_raw_state(resume.rng_state);
+            start_epoch = resume.start_epoch;
+            report.epochs = resume.prior_epochs.clone();
+        }
+
+        for epoch_idx in start_epoch..self.train.epochs {
             let mut epoch = EpochReport {
                 epoch: epoch_idx,
                 ..Default::default()
@@ -434,6 +616,7 @@ impl<T: Task> Trainer<T> {
             epoch.io_bytes_written = io.bytes_written;
             epoch.io_time = self.io_model.stats_time(&io);
 
+            let pre_eval_rng = rng.state();
             epoch.metric = if self.should_evaluate(epoch_idx) {
                 let fresh_eval_source;
                 let eval_source: &dyn crate::source::RepresentationSource = if setup.writeback {
@@ -453,7 +636,25 @@ impl<T: Task> Trainer<T> {
             };
             finalize(&mut epoch);
             report.epochs.push(epoch);
-            self.epoch_done(&report);
+            self.epoch_done(&report)?;
+            if self.should_checkpoint(epoch_idx) {
+                // The post-epoch flush above already drained the write-back
+                // ledger; assert the safe point all the same before linking
+                // the store's files into the snapshot (a partition with a
+                // detached write-back in flight has stale bytes on disk).
+                writeback_safe_point(&setup.buffer);
+                let mut state = StateDict::new();
+                self.task.save_state(&model, &mut state);
+                self.write_checkpoint(
+                    data,
+                    &StorageKind::Disk(disk.clone()),
+                    epoch_idx + 1,
+                    self.checkpoint_rng_state(epoch_idx, pre_eval_rng, &rng),
+                    &state,
+                    setup.writeback.then_some(&setup.store),
+                    &report,
+                )?;
+            }
         }
         let _ = setup.store.clear();
         Ok(report)

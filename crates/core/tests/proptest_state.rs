@@ -1,0 +1,102 @@
+//! Property tests for the checkpoint state encoding.
+//!
+//! The durable-state contract hinges on `StateDict::encode`/`decode` being an
+//! exact inverse pair for arbitrary blob shapes and contents, and on decode
+//! *rejecting* anything that was corrupted in flight. These properties back
+//! the corrupted-checksum and truncated-manifest rejection tests with
+//! randomized coverage.
+
+use marius_core::checkpoint::{fnv1a64, StateDict};
+use proptest::prelude::*;
+
+/// Builds a dict with one f32 blob of shape `(rows, cols)` and one u64 blob,
+/// both content-randomized.
+fn build_dict(rows: usize, cols: usize, f32_seed: u32, u64s: &[u64]) -> StateDict {
+    let mut dict = StateDict::new();
+    // Deterministic but varied f32 payload, including negatives, zeros and
+    // subnormal-ish magnitudes.
+    let values: Vec<f32> = (0..rows * cols)
+        .map(|i| {
+            let x = (i as u32)
+                .wrapping_mul(2_654_435_761)
+                .wrapping_add(f32_seed);
+            f32::from_bits(x & 0x7f7f_ffff) * if x & 1 == 0 { 1.0 } else { -1.0 }
+        })
+        .collect();
+    dict.push_f32("model.blob", rows, cols, &values);
+    dict.push_u64("trainer.blob", u64s);
+    dict
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode ∘ decode is the identity for arbitrary dims and payloads —
+    /// including the exact f32 bit patterns.
+    #[test]
+    fn encode_decode_is_identity(
+        rows in 0usize..40,
+        cols in 1usize..17,
+        f32_seed in 0u32..u32::MAX,
+        u64s in proptest::collection::vec(0u64..u64::MAX, 0..32),
+    ) {
+        let dict = build_dict(rows, cols, f32_seed, &u64s);
+        let (bytes, entries) = dict.encode();
+        let back = StateDict::decode(&entries, &bytes).unwrap();
+        prop_assert_eq!(&dict, &back);
+        prop_assert_eq!(back.require_u64("trainer.blob").unwrap(), u64s);
+        let original = dict.require_f32("model.blob", rows, cols).unwrap();
+        let decoded = back.require_f32("model.blob", rows, cols).unwrap();
+        prop_assert_eq!(original.len(), decoded.len());
+        for (a, b) in original.iter().zip(&decoded) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Any single flipped payload byte is caught by the per-blob checksum.
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        rows in 1usize..16,
+        cols in 1usize..9,
+        f32_seed in 0u32..u32::MAX,
+        victim in 0usize..4096,
+        flip in 1u8..=255,
+    ) {
+        let dict = build_dict(rows, cols, f32_seed, &[7, 8, 9]);
+        let (mut bytes, entries) = dict.encode();
+        let victim = victim % bytes.len();
+        bytes[victim] ^= flip;
+        let err = StateDict::decode(&entries, &bytes).unwrap_err();
+        prop_assert!(format!("{err}").contains("checksum"));
+    }
+
+    /// Truncating the blob buffer anywhere is rejected (out-of-range blob or
+    /// checksum mismatch), never silently accepted.
+    #[test]
+    fn truncation_is_always_rejected(
+        rows in 1usize..16,
+        cols in 1usize..9,
+        f32_seed in 0u32..u32::MAX,
+        keep in 0usize..4096,
+    ) {
+        let dict = build_dict(rows, cols, f32_seed, &[1, 2, 3]);
+        let (bytes, entries) = dict.encode();
+        let keep = keep % bytes.len(); // strictly shorter than the original
+        prop_assert!(StateDict::decode(&entries, &bytes[..keep]).is_err());
+    }
+
+    /// The checksum itself behaves: equal input, equal hash; flipping a byte
+    /// changes it (FNV-1a mixes every byte into the state).
+    #[test]
+    fn fnv_is_deterministic_and_byte_sensitive(
+        payload in proptest::collection::vec(0u8..=255, 1..128),
+        victim in 0usize..4096,
+        flip in 1u8..=255,
+    ) {
+        prop_assert_eq!(fnv1a64(&payload), fnv1a64(&payload));
+        let mut mutated = payload.clone();
+        let victim = victim % mutated.len();
+        mutated[victim] ^= flip;
+        prop_assert!(fnv1a64(&payload) != fnv1a64(&mutated));
+    }
+}

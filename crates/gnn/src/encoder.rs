@@ -216,6 +216,12 @@ impl Encoder {
     pub fn layers(&self) -> &[Box<dyn GnnLayer>] {
         &self.layers
     }
+
+    /// Mutable access to the layers (used when restoring parameters and
+    /// optimizer state from a checkpoint).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn GnnLayer>] {
+        &mut self.layers
+    }
 }
 
 /// Extension used by the identity-encoder path: the row at which target nodes

@@ -75,6 +75,11 @@ impl FeatureMatrix {
 pub struct ScaledDataset {
     /// The (possibly scaled) specification the dataset was generated from.
     pub spec: DatasetSpec,
+    /// The RNG seed [`ScaledDataset::generate`] was called with. Generation is
+    /// deterministic in `(spec, seed)`, so recording the seed makes the dataset
+    /// reconstructible from metadata alone — checkpoint manifests persist this
+    /// pair instead of the graph itself.
+    pub seed: u64,
     /// The graph as an edge list.
     pub graph: EdgeList,
     /// Fixed input features (present when `spec.fixed_features`).
@@ -204,6 +209,7 @@ impl ScaledDataset {
 
         ScaledDataset {
             spec: spec.clone(),
+            seed,
             graph,
             features,
             labels,

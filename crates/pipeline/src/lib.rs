@@ -157,6 +157,23 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Blocks until the buffer's write-back ledger is empty — the pipeline's
+/// checkpoint safe point.
+///
+/// The `writeback` watermark (stage 4) trails the `swap` watermark by design:
+/// between the two, evicted dirty partitions live only as detached in-memory
+/// generations and the corresponding files on disk are stale. A
+/// `PartitionStore::snapshot_to` taken inside that window would capture the
+/// stale bytes and silently lose training updates. `run_epoch` drains the
+/// write-back queue completely before returning (even on abort), so at every
+/// epoch boundary this returns immediately; it exists so checkpoint writers
+/// can *assert* the safe point instead of assuming it, and so future partial
+/// (mid-epoch) checkpoints have a primitive that waits for `writeback` to
+/// catch up with `swap`.
+pub fn writeback_safe_point(buffer: &PartitionBuffer) {
+    buffer.writeback_ledger().wait_drained();
+}
+
 /// Derives the RNG seed for one plan step of one epoch (SplitMix64 over the
 /// epoch seed and step index). Shared by the pipelined runtime and the
 /// sequential fallback so both consume randomness identically.
@@ -1057,6 +1074,32 @@ mod tests {
         let four = run(4);
         assert_eq!(one, four);
         assert_eq!(one.len(), 3 * pair_plan(5, 2, 21).partition_sets.len());
+    }
+
+    #[test]
+    fn epoch_end_is_a_writeback_safe_point() {
+        // After run_epoch returns, the ledger is empty and the safe-point
+        // hook must return without blocking — a snapshot taken here sees
+        // every detached eviction on disk.
+        let mut buffer = build_buffer("pipe-safe-point", 40, 4, 2);
+        let plan = pair_plan(4, 2, 13);
+        let pipeline = Pipeline::new(PipelineConfig::with_workers(2));
+        let assignment = buffer.assignment().clone();
+        pipeline
+            .run_epoch(
+                &plan,
+                &mut buffer,
+                23,
+                |ctx, _rng, sink| sink(ctx.set[0]),
+                |buffer, _ctx, partition: PartitionId| {
+                    let node = assignment.nodes_in(partition)[0];
+                    let grad = marius_tensor::Tensor::ones(1, 4);
+                    buffer.apply_update(&[node], &grad).unwrap();
+                },
+            )
+            .unwrap();
+        writeback_safe_point(&buffer);
+        assert_eq!(buffer.writeback_ledger().pending_count(), 0);
     }
 
     #[test]

@@ -17,6 +17,67 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// Extension of the temporary siblings every atomic placement goes through.
+/// Readers (and [`PartitionStore::snapshot_to`] / [`PartitionStore::restore_from`])
+/// skip files carrying it: a `.tmp` sibling is by definition an incomplete
+/// write that a crash may have abandoned.
+const TMP_EXTENSION: &str = "tmp";
+
+/// The temporary sibling a file is staged at before its atomic rename.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".");
+    name.push(TMP_EXTENSION);
+    path.with_file_name(name)
+}
+
+/// `true` for paths staged by [`atomic_place`] but never renamed (torn writes
+/// abandoned by a crash).
+fn is_tmp(path: &Path) -> bool {
+    path.extension().and_then(|e| e.to_str()) == Some(TMP_EXTENSION)
+}
+
+/// Places a file at `dst` atomically: `fill` produces the complete content at
+/// a temporary sibling path, which is then renamed over `dst`. Readers observe
+/// either the old file or the new one, never a torn intermediate — the shared
+/// idiom behind [`PartitionStore::write_partition`], bucket writes, and the
+/// checkpoint snapshot path.
+fn atomic_place<F>(dst: &Path, fill: F) -> std::io::Result<()>
+where
+    F: FnOnce(&Path) -> std::io::Result<()>,
+{
+    let tmp = tmp_sibling(dst);
+    fill(&tmp)?;
+    fs::rename(&tmp, dst)
+}
+
+/// Atomically writes `bytes` to `path` (temp-file + rename). A reader — or a
+/// process resuming after a crash — observes either the previous content or
+/// the full new content, never a prefix. Shared by partition/bucket writes and
+/// by the checkpoint layer (manifests and `LATEST` pointers).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    atomic_place(path, |tmp| {
+        let mut file = fs::File::create(tmp)?;
+        file.write_all(bytes)
+    })
+}
+
+/// Atomically materialises `src`'s bytes at `dst`: hard-links when the two
+/// paths share a filesystem (snapshots of multi-gigabyte partition files cost
+/// one directory entry), falling back to a full copy. Because every mutation
+/// of a store file goes through a rename, a hard-linked snapshot keeps the old
+/// inode when the store later rewrites the partition — links never alias
+/// future writes.
+fn atomic_link_or_copy(src: &Path, dst: &Path) -> std::io::Result<()> {
+    atomic_place(dst, |tmp| {
+        let _ = fs::remove_file(tmp);
+        if fs::hard_link(src, tmp).is_ok() {
+            return Ok(());
+        }
+        fs::copy(src, tmp).map(|_| ())
+    })
+}
+
 /// Counters describing the IO a [`PartitionStore`] has performed.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct IoStats {
@@ -217,11 +278,7 @@ impl PartitionStore {
         for s in state {
             buf.extend_from_slice(&s.to_le_bytes());
         }
-        let tmp = self.root.join(format!("node_partition_{id}.bin.tmp"));
-        let mut file = fs::File::create(&tmp)?;
-        file.write_all(&buf)?;
-        drop(file);
-        fs::rename(&tmp, self.partition_path(id))?;
+        atomic_write(&self.partition_path(id), &buf)?;
         self.counters.record_write(buf.len() as u64);
         self.throttle_op(buf.len() as u64);
         Ok(())
@@ -271,8 +328,7 @@ impl PartitionStore {
             buf.extend_from_slice(&e.dst.to_le_bytes());
             buf.extend_from_slice(&e.rel.to_le_bytes());
         }
-        let mut file = fs::File::create(self.bucket_path(src, dst))?;
-        file.write_all(&buf)?;
+        atomic_write(&self.bucket_path(src, dst), &buf)?;
         self.counters.record_write(buf.len() as u64);
         self.throttle_op(buf.len() as u64);
         Ok(())
@@ -297,6 +353,66 @@ impl PartitionStore {
             edges.push(Edge::with_rel(src_id, rel, dst_id));
         }
         Ok(edges)
+    }
+
+    /// Snapshots every completed store file (node partitions and edge
+    /// buckets) into the directory `dst`, as a temp-dir + rename: the files
+    /// are hard-linked (or copied) into `dst.tmp`, which is renamed to `dst`
+    /// only once complete. A crash mid-snapshot leaves at most an abandoned
+    /// `.tmp` directory — `dst` either does not exist or is a complete,
+    /// immutable snapshot. In-flight `.tmp` siblings inside the store are
+    /// skipped (they are torn by definition).
+    ///
+    /// The caller must only invoke this at a write-back safe point: with no
+    /// synchronous writer mid-epoch and, on pipelined runs, after the
+    /// write-back ledger has drained (`PartitionBuffer::flush` establishes
+    /// both — see `marius_pipeline::writeback_safe_point`). Snapshots taken
+    /// there capture exactly the epoch-boundary state of every partition.
+    pub fn snapshot_to(&self, dst: impl AsRef<Path>) -> Result<()> {
+        let dst = dst.as_ref();
+        let staging = tmp_sibling(dst);
+        if staging.exists() {
+            fs::remove_dir_all(&staging)?;
+        }
+        fs::create_dir_all(&staging)?;
+        for entry in fs::read_dir(&self.root)? {
+            let path = entry?.path();
+            if !path.is_file() || is_tmp(&path) {
+                continue;
+            }
+            let name = path.file_name().expect("read_dir yields named files");
+            atomic_link_or_copy(&path, &staging.join(name))?;
+        }
+        if dst.exists() {
+            fs::remove_dir_all(dst)?;
+        }
+        fs::rename(&staging, dst)?;
+        Ok(())
+    }
+
+    /// Restores every file of a [`PartitionStore::snapshot_to`] snapshot into
+    /// the store's root, one atomic per-file rename at a time (a concurrent
+    /// reader sees each file either pre- or post-restore, never torn).
+    /// Abandoned `.tmp` files inside the snapshot are ignored. Files already
+    /// in the store but absent from the snapshot are left untouched.
+    pub fn restore_from(&self, src: impl AsRef<Path>) -> Result<()> {
+        let src = src.as_ref();
+        if !src.is_dir() {
+            return Err(StorageError::checkpoint(format!(
+                "partition snapshot {} does not exist",
+                src.display()
+            )));
+        }
+        fs::create_dir_all(&self.root)?;
+        for entry in fs::read_dir(src)? {
+            let path = entry?.path();
+            if !path.is_file() || is_tmp(&path) {
+                continue;
+            }
+            let name = path.file_name().expect("read_dir yields named files");
+            atomic_link_or_copy(&path, &self.root.join(name))?;
+        }
+        Ok(())
     }
 
     /// Deletes every file in the store (used by tests and example cleanup).
@@ -424,5 +540,47 @@ mod tests {
         let store = temp_store("empty-bucket");
         store.write_bucket(2, 3, &[]).unwrap();
         assert!(store.read_bucket(2, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_and_restore_roundtrip_partitions_and_buckets() {
+        let store = temp_store("snapshot-roundtrip");
+        store.write_partition(0, &[1.0, 2.0], &[0.5, 0.5]).unwrap();
+        store.write_bucket(0, 0, &[Edge::new(0, 1)]).unwrap();
+        let snap = store.root().join("snap");
+        store.snapshot_to(&snap).unwrap();
+        // Mutate after the snapshot; the snapshot must keep the old bytes
+        // (hard links point at the old inode because writes go through
+        // rename).
+        store.write_partition(0, &[9.0, 9.0], &[1.0, 1.0]).unwrap();
+        store.restore_from(&snap).unwrap();
+        let (v, s) = store.read_partition(0).unwrap();
+        assert_eq!(v, vec![1.0, 2.0]);
+        assert_eq!(s, vec![0.5, 0.5]);
+        assert_eq!(store.read_bucket(0, 0).unwrap(), vec![Edge::new(0, 1)]);
+    }
+
+    #[test]
+    fn snapshot_skips_torn_tmp_files_and_replaces_stale_snapshots() {
+        let store = temp_store("snapshot-torn");
+        store.write_partition(1, &[3.0], &[0.0]).unwrap();
+        // A torn write abandoned by a crash must not enter the snapshot.
+        std::fs::write(store.root().join("node_partition_9.bin.tmp"), b"torn").unwrap();
+        let snap = store.root().join("snap");
+        store.snapshot_to(&snap).unwrap();
+        assert!(!snap.join("node_partition_9.bin.tmp").exists());
+        assert!(snap.join("node_partition_1.bin").exists());
+        // A second snapshot replaces the first atomically.
+        store.write_partition(1, &[4.0], &[0.0]).unwrap();
+        store.snapshot_to(&snap).unwrap();
+        let twin = PartitionStore::open(&snap).unwrap();
+        assert_eq!(twin.read_partition(1).unwrap().0, vec![4.0]);
+    }
+
+    #[test]
+    fn restore_from_missing_snapshot_is_a_checkpoint_error() {
+        let store = temp_store("snapshot-missing");
+        let err = store.restore_from(store.root().join("nope")).unwrap_err();
+        assert!(matches!(err, StorageError::Checkpoint { .. }), "{err}");
     }
 }

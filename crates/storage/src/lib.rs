@@ -50,7 +50,7 @@ pub mod policy;
 pub mod tuning;
 
 pub use buffer::{EvictedPartition, PartitionBuffer, WritebackLedger};
-pub use disk::{IoStats, PartitionStore};
+pub use disk::{atomic_write, IoStats, PartitionStore};
 pub use io_model::IoCostModel;
 pub use policy::{BetaPolicy, CometPolicy, EpochPlan, InMemoryPolicy, NodeCachePolicy};
 pub use tuning::{auto_tune, edge_permutation_bias, TuningConfig};
@@ -71,6 +71,21 @@ pub enum StorageError {
         /// Human readable description.
         reason: String,
     },
+    /// A checkpoint could not be written, read, or validated (missing files,
+    /// checksum mismatches, manifest/blob shape mismatches, version skew).
+    Checkpoint {
+        /// Human readable description.
+        reason: String,
+    },
+}
+
+impl StorageError {
+    /// Convenience constructor for checkpoint failures.
+    pub fn checkpoint(reason: impl Into<String>) -> Self {
+        StorageError::Checkpoint {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for StorageError {
@@ -79,6 +94,7 @@ impl std::fmt::Display for StorageError {
             StorageError::Io(e) => write!(f, "io error: {e}"),
             StorageError::NotResident { reason } => write!(f, "not resident: {reason}"),
             StorageError::InvalidPlan { reason } => write!(f, "invalid plan: {reason}"),
+            StorageError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
         }
     }
 }

@@ -27,6 +27,45 @@
 //! default and [`NodeClassificationTask`] is the other built-in workload. Any
 //! type implementing [`Task`] plugs into the same machinery.
 //!
+//! # Durable checkpoints and resume
+//!
+//! [`SessionBuilder::checkpoint_to`] writes *full* checkpoints at epoch
+//! boundaries — model parameters and optimizer accumulators, the embedding
+//! table or a partition-store snapshot, the RNG cursor, and the progress
+//! report — as versioned directories swapped atomically (temp-dir + rename; a
+//! crash can never tear a checkpoint). [`Session::resume_from`] rebuilds the
+//! whole session from the newest checkpoint alone, and the resumed run's loss
+//! trajectory is **bit-identical** to the uninterrupted run's:
+//!
+//! ```no_run
+//! use marius::graph::datasets::{DatasetSpec, ScaledDataset};
+//! use marius::{LinkPredictionTask, ModelConfig, Session, TrainConfig};
+//!
+//! # fn main() -> marius::Result<()> {
+//! // A run checkpoints every epoch, then is interrupted...
+//! let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.05), 42);
+//! let mut session = Session::builder()
+//!     .dataset(data)
+//!     .model(ModelConfig::paper_distmult(32))
+//!     .train(TrainConfig::quick(4, 42))
+//!     .checkpoint_to("run/checkpoints", 1)
+//!     .build()?;
+//! session.train()?;
+//!
+//! // ...and a later process picks up exactly where it stopped (the dataset,
+//! // task, model, optimizer state and RNG streams all come from the
+//! // manifest; `resume_from_until` additionally raises the epoch target).
+//! let mut resumed: Session<LinkPredictionTask> =
+//!     Session::resume_from("run/checkpoints")?;
+//! let report = resumed.train()?;
+//! # let _ = report;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `marius_core::checkpoint` for the on-disk layout (manifest schema,
+//! blob format, versioning rules).
+//!
 //! # Workspace map
 //!
 //! * [`tensor`] / [`gnn`] — dense kernels, layers, decoders, optimizers.
@@ -51,16 +90,17 @@ pub use marius_storage as storage;
 pub use marius_tensor as tensor;
 
 pub use marius_core::{
-    DiskConfig, EncoderKind, EpochHook, EpochReport, ExperimentReport, LinkPredictionTask,
-    ModelConfig, NodeClassificationTask, PipelineConfig, PolicyKind, Task, TrainConfig, Trainer,
+    Checkpoint, DiskConfig, EncoderKind, EpochHook, EpochReport, ExperimentReport,
+    LinkPredictionTask, ModelConfig, NodeClassificationTask, Persist, PipelineConfig, PolicyKind,
+    StateDict, Task, TrainConfig, Trainer,
 };
 #[allow(deprecated)]
 pub use marius_core::{LinkPredictionTrainer, NodeClassificationTrainer};
 pub use marius_storage::{IoCostModel, Result, StorageError};
 
+use marius_core::StorageKind;
 use marius_graph::datasets::ScaledDataset;
-use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::path::{Path, PathBuf};
 
 /// Where base representations live during training.
 #[derive(Debug, Clone)]
@@ -173,14 +213,31 @@ impl<T: Task> SessionBuilder<T> {
 
     /// Installs a callback invoked after every completed epoch.
     pub fn on_epoch(mut self, hook: impl Fn(&EpochReport) + Send + Sync + 'static) -> Self {
+        self.epoch_hook = Some(Box::new(move |epoch| {
+            hook(epoch);
+            Ok(())
+        }));
+        self
+    }
+
+    /// Installs a fallible epoch callback: an `Err` aborts training and
+    /// surfaces from [`Session::train`] as the run's [`StorageError`].
+    pub fn on_epoch_fallible(
+        mut self,
+        hook: impl Fn(&EpochReport) -> Result<()> + Send + Sync + 'static,
+    ) -> Self {
         self.epoch_hook = Some(Box::new(hook));
         self
     }
 
-    /// Writes a training-progress checkpoint (the
-    /// [`ExperimentReport::to_json`] of all epochs so far) to `path` every
-    /// `every` epochs. The file is rewritten in place; a new training run on
-    /// the same session restarts the accumulated epochs.
+    /// Writes a full durable checkpoint under the directory `path` every
+    /// `every` epochs (and always after the final epoch): model parameters
+    /// and optimizer accumulators, the embedding table or a snapshot of the
+    /// partition store, the RNG cursor, and the progress report, laid out as
+    /// versioned subdirectories with an atomically swapped `LATEST` pointer
+    /// so a crash can never tear a checkpoint. [`Session::resume_from`] picks
+    /// a run back up from the newest version, bit-exactly. See
+    /// `marius_core::checkpoint` for the on-disk format.
     pub fn checkpoint_to(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
         self.checkpoint = Some((every.max(1), path.into()));
         self
@@ -199,49 +256,21 @@ impl<T: Task> SessionBuilder<T> {
             self.task.disk_label(disk)?;
         }
 
-        let total_epochs = self.train.epochs;
         let mut trainer = Trainer::with_task(self.task, model, self.train)
             .with_pipeline(self.pipeline)
             .with_eval_every(self.eval_every);
         if let Some(io) = self.emulated_device {
             trainer = trainer.with_emulated_device(io);
         }
-
-        // Compose the user hook with the checkpoint writer: epochs accumulate
-        // in a shared report and the JSON is rewritten on the cadence (and
-        // always after the final epoch, so the file never misses the tail of
-        // a run whose epoch count is not a cadence multiple).
-        let user_hook = self.epoch_hook;
-        match self.checkpoint {
-            Some((every, path)) => {
-                let acc: Arc<Mutex<ExperimentReport>> = Arc::new(Mutex::new(
-                    ExperimentReport::new("checkpoint", data.spec.name.clone()),
-                ));
-                trainer = trainer.with_epoch_hook(move |epoch| {
-                    if let Some(hook) = &user_hook {
-                        hook(epoch);
-                    }
-                    let mut report = acc.lock().expect("checkpoint state poisoned");
-                    if epoch.epoch == 0 {
-                        report.epochs.clear();
-                    }
-                    report.epochs.push(epoch.clone());
-                    if report.epochs.len().is_multiple_of(every) || epoch.epoch + 1 == total_epochs
-                    {
-                        if let Err(e) = std::fs::write(&path, report.to_json()) {
-                            eprintln!(
-                                "warning: could not write checkpoint {}: {e}",
-                                path.display()
-                            );
-                        }
-                    }
-                });
-            }
-            None => {
-                if let Some(hook) = user_hook {
-                    trainer = trainer.with_epoch_hook(hook);
-                }
-            }
+        // Checkpointing lives inside the trainer (it owns the model and the
+        // store at epoch boundaries); the user hook rides along unchanged,
+        // and any hook failure propagates as the run's StorageError instead
+        // of panicking through a poisoned accumulator.
+        if let Some((every, path)) = self.checkpoint {
+            trainer = trainer.with_checkpoint(path, every);
+        }
+        if let Some(hook) = self.epoch_hook {
+            trainer = trainer.with_fallible_epoch_hook(hook);
         }
 
         Ok(Session {
@@ -267,6 +296,76 @@ impl Session<LinkPredictionTask> {
     /// [`SessionBuilder::task`]).
     pub fn builder() -> SessionBuilder<LinkPredictionTask> {
         SessionBuilder::default()
+    }
+}
+
+impl<T: Task + Default> Session<T> {
+    /// Rebuilds a session from the newest checkpoint under `path` (a
+    /// directory previously passed to [`SessionBuilder::checkpoint_to`]):
+    /// the dataset is regenerated from the manifest's spec and seed, the
+    /// task/model/storage/pipeline configuration is restored, and the next
+    /// [`Session::train`] continues from the checkpointed epoch with the
+    /// saved parameters, optimizer accumulators and RNG streams — producing
+    /// the same loss trajectory, bit for bit, as the run would have without
+    /// the interruption. The resumed session keeps checkpointing to `path`
+    /// on the recorded cadence.
+    ///
+    /// The checkpoint's task must match `T` (compared by `Task::slug`);
+    /// resuming a node-classification checkpoint requires
+    /// `Session::<NodeClassificationTask>::resume_from`.
+    pub fn resume_from(path: impl AsRef<Path>) -> Result<Session<T>> {
+        Self::resume(path, None)
+    }
+
+    /// Like [`Session::resume_from`], but raises the run's total epoch target
+    /// to `epochs` — the way to *extend* a finished run, or to express
+    /// "2 epochs done, train to 4" when the interrupted run had a shorter
+    /// target. `epochs` below the checkpointed progress is rejected.
+    pub fn resume_from_until(path: impl AsRef<Path>, epochs: usize) -> Result<Session<T>> {
+        Self::resume(path, Some(epochs))
+    }
+
+    fn resume(path: impl AsRef<Path>, epochs: Option<usize>) -> Result<Session<T>> {
+        let path = path.as_ref();
+        let ckpt = Checkpoint::open(path)?;
+        let task = T::default();
+        if ckpt.task_slug != task.slug() {
+            return Err(StorageError::checkpoint(format!(
+                "checkpoint at {} was written by task {:?}, not {:?}",
+                path.display(),
+                ckpt.task_slug,
+                task.slug()
+            )));
+        }
+        let mut train = ckpt.train.clone();
+        if let Some(epochs) = epochs {
+            if epochs < ckpt.epochs_completed {
+                return Err(StorageError::checkpoint(format!(
+                    "cannot resume to {epochs} epochs: checkpoint already completed {}",
+                    ckpt.epochs_completed
+                )));
+            }
+            train.epochs = epochs;
+        }
+        let data = ScaledDataset::generate(&ckpt.dataset_spec, ckpt.dataset_seed);
+        let storage = match &ckpt.storage {
+            StorageKind::InMemory => Storage::InMemory,
+            StorageKind::Disk(disk) => Storage::Disk(disk.clone()),
+        };
+        let mut trainer = Trainer::with_task(task, ckpt.model.clone(), train)
+            .with_pipeline(ckpt.pipeline.clone())
+            .with_eval_every(ckpt.eval_every)
+            .with_checkpoint(path, ckpt.every)
+            .with_resume(ckpt.resume_state());
+        if let Some(io) = ckpt.emulated_device {
+            trainer = trainer.with_emulated_device(io);
+        }
+        Ok(Session {
+            trainer,
+            data,
+            storage,
+            last_report: None,
+        })
     }
 }
 
@@ -410,16 +509,21 @@ mod tests {
         assert!(report.final_metric() > 0.0);
     }
 
-    #[test]
-    fn checkpoint_and_epoch_hooks_fire() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+    fn temp_ckpt_dir(label: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!(
-            "marius-session-ckpt-{}-{:?}",
+            "marius-session-{label}-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("checkpoint.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpoint_and_epoch_hooks_fire() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let dir = temp_ckpt_dir("ckpt");
         let calls = Arc::new(AtomicUsize::new(0));
         let seen = Arc::clone(&calls);
         let mut session = Session::builder()
@@ -429,38 +533,119 @@ mod tests {
             .on_epoch(move |_| {
                 seen.fetch_add(1, Ordering::SeqCst);
             })
-            .checkpoint_to(&path, 1)
+            .checkpoint_to(&dir, 1)
             .build()
             .unwrap();
         session.train().unwrap();
         assert_eq!(calls.load(Ordering::SeqCst), 2);
-        let json = std::fs::read_to_string(&path).unwrap();
-        assert!(json.contains("\"system\":\"checkpoint\""));
-        assert_eq!(json.matches("\"epoch\":").count(), 2);
+        // A full versioned checkpoint: LATEST pointer, manifest, state blobs,
+        // human-readable progress.
+        let latest = std::fs::read_to_string(dir.join("LATEST")).unwrap();
+        assert_eq!(latest, "epoch-000002");
+        let version = dir.join(latest);
+        assert!(version.join("manifest.json").exists());
+        assert!(version.join("state.bin").exists());
+        let progress = std::fs::read_to_string(version.join("progress.json")).unwrap();
+        assert_eq!(progress.matches("\"epoch\":").count(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn checkpoint_flushes_the_final_epoch_off_cadence() {
-        let dir = std::env::temp_dir().join(format!(
-            "marius-session-ckpt-tail-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("checkpoint.json");
+        let dir = temp_ckpt_dir("ckpt-tail");
         let mut train = quick_train();
         train.epochs = 3; // not a multiple of the cadence below
         let mut session = Session::builder()
             .dataset(tiny_lp())
             .model(ModelConfig::paper_distmult(8))
             .train(train)
-            .checkpoint_to(&path, 2)
+            .checkpoint_to(&dir, 2)
             .build()
             .unwrap();
         session.train().unwrap();
-        let json = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(json.matches("\"epoch\":").count(), 3, "final epoch missing");
+        // Cadence hits at epoch 2, and the off-cadence final epoch flushes too.
+        assert_eq!(
+            std::fs::read_to_string(dir.join("LATEST")).unwrap(),
+            "epoch-000003"
+        );
+        let ckpt = Checkpoint::open(&dir).unwrap();
+        assert_eq!(ckpt.epochs_completed, 3);
+        assert_eq!(ckpt.prior_epochs.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_from_rejects_task_mismatch_and_missing_roots() {
+        let dir = temp_ckpt_dir("ckpt-mismatch");
+        let err = expect_err(Session::<LinkPredictionTask>::resume_from(&dir));
+        assert!(format!("{err}").contains("no checkpoint"), "{err}");
+        let mut session = Session::builder()
+            .dataset(tiny_lp())
+            .model(ModelConfig::paper_distmult(8))
+            .train(quick_train())
+            .checkpoint_to(&dir, 1)
+            .build()
+            .unwrap();
+        session.train().unwrap();
+        let err = expect_err(Session::<NodeClassificationTask>::resume_from(&dir));
+        assert!(format!("{err}").contains("task"), "{err}");
+        // Shrinking the epoch target below completed progress is rejected.
+        let err = expect_err(Session::<LinkPredictionTask>::resume_from_until(&dir, 1));
+        assert!(format!("{err}").contains("already completed"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failing_epoch_hook_aborts_training_with_its_error() {
+        let mut session = Session::builder()
+            .dataset(tiny_lp())
+            .model(ModelConfig::paper_distmult(8))
+            .train(quick_train())
+            .on_epoch_fallible(|epoch| {
+                if epoch.epoch == 0 {
+                    Err(StorageError::InvalidPlan {
+                        reason: "hook said stop".into(),
+                    })
+                } else {
+                    Ok(())
+                }
+            })
+            .build()
+            .unwrap();
+        let err = session.train().unwrap_err();
+        assert!(format!("{err}").contains("hook said stop"), "{err}");
+    }
+
+    #[test]
+    fn resumed_session_reproduces_the_uninterrupted_trajectory() {
+        let dir = temp_ckpt_dir("ckpt-resume");
+        let mut full_train = quick_train();
+        full_train.epochs = 4;
+        let mut full = Session::builder()
+            .dataset(tiny_lp())
+            .model(ModelConfig::paper_distmult(8))
+            .train(full_train)
+            .build()
+            .unwrap();
+        let full_report = full.train().unwrap();
+
+        let mut half = Session::builder()
+            .dataset(tiny_lp())
+            .model(ModelConfig::paper_distmult(8))
+            .train(quick_train()) // 2 epochs
+            .checkpoint_to(&dir, 1)
+            .build()
+            .unwrap();
+        half.train().unwrap();
+        let mut resumed: Session<LinkPredictionTask> = Session::resume_from_until(&dir, 4).unwrap();
+        assert_eq!(resumed.dataset().spec, full.dataset().spec);
+        let resumed_report = resumed.train().unwrap();
+        assert_eq!(resumed_report.epochs.len(), 4);
+        for (a, b) in full_report.epochs.iter().zip(&resumed_report.epochs) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "epoch {}", a.epoch);
+            assert_eq!(a.metric.to_bits(), b.metric.to_bits(), "epoch {}", a.epoch);
+            assert_eq!(a.examples, b.examples, "epoch {}", a.epoch);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

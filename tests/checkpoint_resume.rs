@@ -1,0 +1,310 @@
+//! Golden tests for durable checkpoints and bit-exact resume.
+//!
+//! The durable-state contract (ISSUE 5) promises that a run interrupted at an
+//! epoch boundary and resumed from its checkpoint reproduces the loss/metric
+//! trajectory of the uninterrupted run **bit for bit** (f64 bit patterns), on
+//! both tasks and on both the in-memory and pipelined-disk paths. These tests
+//! pin that promise the way `task_equivalence` pins the trainer refactor: an
+//! uninterrupted 4-epoch run is the oracle, a 2-epoch run + checkpoint +
+//! 2-epoch resume is the subject, and every epoch is compared at the bit
+//! level. A separate test simulates a crash mid-checkpoint-write and asserts
+//! the torn staging directory is invisible to resume.
+
+use marius::{
+    DiskConfig, LinkPredictionTask, ModelConfig, NodeClassificationTask, PipelineConfig, Session,
+    Storage, Task, TrainConfig,
+};
+use marius_graph::datasets::{DatasetSpec, ScaledDataset};
+use std::path::PathBuf;
+
+fn temp_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "marius-resume-golden-{label}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn lp_dataset() -> ScaledDataset {
+    ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.015), 3)
+}
+
+fn lp_model() -> ModelConfig {
+    ModelConfig::paper_link_prediction_graphsage(12).shrunk(5, 12)
+}
+
+fn lp_train(epochs: usize) -> TrainConfig {
+    let mut train = TrainConfig::quick(epochs, 9);
+    train.batch_size = 128;
+    train.num_negatives = 32;
+    train.eval_negatives = 64;
+    train
+}
+
+fn nc_dataset() -> ScaledDataset {
+    ScaledDataset::generate(&DatasetSpec::ogbn_arxiv().scaled(0.008), 21)
+}
+
+fn nc_model() -> ModelConfig {
+    let mut model = ModelConfig::paper_node_classification(128, 16);
+    model.num_layers = 2;
+    model.fanouts = vec![8, 5];
+    model
+}
+
+fn nc_train(epochs: usize) -> TrainConfig {
+    let mut train = TrainConfig::quick(epochs, 13);
+    train.batch_size = 128;
+    train
+}
+
+fn assert_bit_identical(
+    oracle: &marius::ExperimentReport,
+    resumed: &marius::ExperimentReport,
+    label: &str,
+) {
+    assert_eq!(
+        oracle.epochs.len(),
+        resumed.epochs.len(),
+        "{label}: epoch count"
+    );
+    for (a, b) in oracle.epochs.iter().zip(&resumed.epochs) {
+        assert_eq!(
+            a.loss.to_bits(),
+            b.loss.to_bits(),
+            "{label}: epoch {} loss {} != {}",
+            a.epoch,
+            a.loss,
+            b.loss
+        );
+        assert_eq!(
+            a.metric.to_bits(),
+            b.metric.to_bits(),
+            "{label}: epoch {} metric {} != {}",
+            a.epoch,
+            a.metric,
+            b.metric
+        );
+        assert_eq!(
+            a.examples, b.examples,
+            "{label}: epoch {} examples",
+            a.epoch
+        );
+    }
+}
+
+/// Uninterrupted 4 epochs vs 2 epochs + checkpoint + resume-to-4, generic
+/// over the task and storage configuration.
+fn golden_resume<T: Task + Default + Clone>(
+    label: &str,
+    task: T,
+    data: impl Fn() -> ScaledDataset,
+    model: ModelConfig,
+    train: impl Fn(usize) -> TrainConfig,
+    storage: Storage,
+    pipeline: PipelineConfig,
+) {
+    let dir = temp_dir(label);
+    let mut oracle = Session::builder()
+        .task(task.clone())
+        .dataset(data())
+        .model(model.clone())
+        .train(train(4))
+        .storage(storage.clone())
+        .pipeline(pipeline.clone())
+        .build()
+        .unwrap();
+    let oracle_report = oracle.train().unwrap();
+
+    let mut interrupted = Session::builder()
+        .task(task)
+        .dataset(data())
+        .model(model)
+        .train(train(2))
+        .storage(storage)
+        .pipeline(pipeline)
+        .checkpoint_to(&dir, 1)
+        .build()
+        .unwrap();
+    interrupted.train().unwrap();
+    drop(interrupted); // the "crash": nothing survives but the checkpoint
+
+    let mut resumed: Session<T> = Session::resume_from_until(&dir, 4).unwrap();
+    let resumed_report = resumed.train().unwrap();
+    assert_bit_identical(&oracle_report, &resumed_report, label);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn link_prediction_in_memory_resume_is_bit_exact() {
+    golden_resume(
+        "lp-mem",
+        LinkPredictionTask,
+        lp_dataset,
+        lp_model(),
+        lp_train,
+        Storage::InMemory,
+        PipelineConfig::disabled(),
+    );
+}
+
+#[test]
+fn link_prediction_pipelined_disk_resume_is_bit_exact() {
+    golden_resume(
+        "lp-disk",
+        LinkPredictionTask,
+        lp_dataset,
+        lp_model(),
+        lp_train,
+        Storage::Disk(DiskConfig::comet(8, 4)),
+        PipelineConfig::with_workers(2),
+    );
+}
+
+#[test]
+fn node_classification_in_memory_resume_is_bit_exact() {
+    golden_resume(
+        "nc-mem",
+        NodeClassificationTask,
+        nc_dataset,
+        nc_model(),
+        nc_train,
+        Storage::InMemory,
+        PipelineConfig::disabled(),
+    );
+}
+
+#[test]
+fn node_classification_pipelined_disk_resume_is_bit_exact() {
+    golden_resume(
+        "nc-disk",
+        NodeClassificationTask,
+        nc_dataset,
+        nc_model(),
+        nc_train,
+        Storage::Disk(DiskConfig::node_cache(8, 6)),
+        PipelineConfig::with_workers(2),
+    );
+}
+
+/// A crash mid-checkpoint-write (simulated by a torn staging directory, a
+/// truncated would-be manifest, and an abandoned partition temp file) must be
+/// invisible: resume reads the last complete version and still reproduces the
+/// oracle bit for bit.
+#[test]
+fn mid_write_abort_never_surfaces_a_torn_checkpoint() {
+    let dir = temp_dir("lp-torn");
+    let mut oracle = Session::builder()
+        .dataset(lp_dataset())
+        .model(lp_model())
+        .train(lp_train(4))
+        .storage(Storage::Disk(DiskConfig::comet(8, 4)))
+        .pipeline(PipelineConfig::with_workers(2))
+        .build()
+        .unwrap();
+    let oracle_report = oracle.train().unwrap();
+
+    let mut interrupted = Session::builder()
+        .dataset(lp_dataset())
+        .model(lp_model())
+        .train(lp_train(2))
+        .storage(Storage::Disk(DiskConfig::comet(8, 4)))
+        .pipeline(PipelineConfig::with_workers(2))
+        .checkpoint_to(&dir, 1)
+        .build()
+        .unwrap();
+    interrupted.train().unwrap();
+
+    // Simulate the next checkpoint dying mid-write: a staging directory with
+    // a truncated manifest and a partial state.bin that never got renamed...
+    let staging = dir.join("epoch-000003.tmp");
+    std::fs::create_dir_all(staging.join("partitions")).unwrap();
+    std::fs::write(staging.join("manifest.json"), "{\"format\":\"marius-ch").unwrap();
+    std::fs::write(staging.join("state.bin"), [0u8; 7]).unwrap();
+    // ...plus a torn partition write inside the *good* snapshot's directory
+    // (an aborted hard-link staging file): restore must skip it.
+    let latest = std::fs::read_to_string(dir.join("LATEST")).unwrap();
+    std::fs::write(
+        dir.join(latest.trim())
+            .join("partitions")
+            .join("node_partition_0.bin.tmp"),
+        b"torn bytes",
+    )
+    .unwrap();
+
+    let mut resumed: Session<LinkPredictionTask> = Session::resume_from_until(&dir, 4).unwrap();
+    let resumed_report = resumed.train().unwrap();
+    assert_bit_identical(&oracle_report, &resumed_report, "lp-torn");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An eval cadence coarser than the checkpoint cadence: the interrupted run's
+/// *forced* final-epoch evaluation (epoch 3 is off the eval_every=2 grid) is
+/// off-stream — its RNG draws must not leak into the checkpoint cursor — so
+/// the continuation still matches the oracle bit for bit. The only permitted
+/// difference is the interruption epoch's metric itself: the interrupted run
+/// evaluated there (a bonus measurement), the oracle skipped it (NaN).
+#[test]
+fn off_cadence_final_eval_does_not_perturb_the_resumed_stream() {
+    let dir = temp_dir("lp-cadence");
+    let mut oracle = Session::builder()
+        .dataset(lp_dataset())
+        .model(lp_model())
+        .train(lp_train(4))
+        .eval_every(2)
+        .build()
+        .unwrap();
+    let oracle_report = oracle.train().unwrap();
+
+    let mut interrupted = Session::builder()
+        .dataset(lp_dataset())
+        .model(lp_model())
+        .train(lp_train(3)) // final epoch 3 is off the eval_every=2 grid
+        .eval_every(2)
+        .checkpoint_to(&dir, 1)
+        .build()
+        .unwrap();
+    interrupted.train().unwrap();
+
+    let mut resumed: Session<LinkPredictionTask> = Session::resume_from_until(&dir, 4).unwrap();
+    let resumed_report = resumed.train().unwrap();
+    assert_eq!(resumed_report.epochs.len(), 4);
+    for (a, b) in oracle_report.epochs.iter().zip(&resumed_report.epochs) {
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "epoch {} loss", a.epoch);
+        if a.epoch == 2 {
+            // The interruption epoch: oracle skipped evaluation, the
+            // interrupted run was forced to evaluate its then-final epoch.
+            assert!(a.metric.is_nan(), "oracle evaluates only epochs 1 and 3");
+            assert!(b.metric.is_finite(), "interrupted run's bonus evaluation");
+        } else {
+            assert_eq!(
+                a.metric.to_bits(),
+                b.metric.to_bits(),
+                "epoch {} metric",
+                a.epoch
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming from the *final* checkpoint of a finished run is a no-op train()
+/// whose report is exactly the recorded trajectory.
+#[test]
+fn resume_of_a_finished_run_replays_the_recorded_report() {
+    let dir = temp_dir("lp-finished");
+    let mut session = Session::builder()
+        .dataset(lp_dataset())
+        .model(lp_model())
+        .train(lp_train(2))
+        .checkpoint_to(&dir, 1)
+        .build()
+        .unwrap();
+    let original = session.train().unwrap();
+    let mut resumed: Session<LinkPredictionTask> = Session::resume_from(&dir).unwrap();
+    let replayed = resumed.train().unwrap();
+    assert_bit_identical(&original, &replayed, "lp-finished");
+    let _ = std::fs::remove_dir_all(&dir);
+}
