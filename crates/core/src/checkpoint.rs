@@ -512,15 +512,31 @@ pub fn write_versioned(root: &Path, snapshot: &CheckpointSnapshot<'_>) -> Result
     }
     fs::create_dir_all(&staging)?;
 
+    // Checkpoint placement rides the store's fault-injection and retry
+    // layers when the run has a store attached: a transient blip while
+    // persisting durable state retries exactly like a partition write, and
+    // an injected fault plan exercises the checkpoint path too. In-memory
+    // runs fall back to a plain atomic write.
+    let place = |name: &str, path: &Path, bytes: &[u8]| -> Result<()> {
+        match snapshot.store {
+            Some(store) => store.place_file(&format!("checkpoint/{name}"), path, bytes),
+            None => atomic_write(path, bytes).map_err(StorageError::from),
+        }
+    };
     let (bin, entries) = snapshot.state.encode();
-    fs::write(staging.join("state.bin"), &bin)?;
+    place("state.bin", &staging.join("state.bin"), &bin)?;
     if let Some(store) = snapshot.store {
         store.snapshot_to(staging.join("partitions"))?;
     }
-    fs::write(staging.join("progress.json"), snapshot.report.to_json())?;
-    fs::write(
-        staging.join("manifest.json"),
-        manifest_json(snapshot, &entries),
+    place(
+        "progress.json",
+        &staging.join("progress.json"),
+        snapshot.report.to_json().as_bytes(),
+    )?;
+    place(
+        "manifest.json",
+        &staging.join("manifest.json"),
+        manifest_json(snapshot, &entries).as_bytes(),
     )?;
 
     // Make the staged version durable before any rename: after the LATEST
@@ -547,7 +563,7 @@ pub fn write_versioned(root: &Path, snapshot: &CheckpointSnapshot<'_>) -> Result
     // directory entry — in that order, so a power cut at any point leaves
     // LATEST naming a fully durable version (possibly the previous one).
     fsync_path(root)?;
-    atomic_write(&root.join("LATEST"), version.as_bytes())?;
+    place("LATEST", &root.join("LATEST"), version.as_bytes())?;
     fsync_path(&root.join("LATEST"))?;
     fsync_path(root)?;
     prune_versions(root, &version)?;
@@ -851,7 +867,8 @@ fn epoch_to_json(e: &EpochReport) -> String {
          \"epoch_time_ns\":{},\"sample_time_ns\":{},\"compute_time_ns\":{},\
          \"io_time_ns\":{},\"io_wait_time_ns\":{},\"stall_time_ns\":{},\
          \"writeback_time_ns\":{},\"io_bytes_read\":{},\"io_bytes_written\":{},\
-         \"partition_loads\":{},\"examples\":{},\"nodes_sampled\":{},\"edges_sampled\":{}}}",
+         \"partition_loads\":{},\"examples\":{},\"nodes_sampled\":{},\"edges_sampled\":{},\
+         \"io_retries\":{},\"faults_injected\":{},\"recoveries\":{}}}",
         e.epoch,
         e.loss.to_bits(),
         e.metric.to_bits(),
@@ -869,6 +886,9 @@ fn epoch_to_json(e: &EpochReport) -> String {
         e.examples,
         e.nodes_sampled,
         e.edges_sampled,
+        e.io_retries,
+        e.faults_injected,
+        e.recoveries,
     )
 }
 
@@ -892,6 +912,11 @@ fn epoch_from_json(j: &Json) -> Result<EpochReport> {
         examples: j.u64_field("examples")? as usize,
         nodes_sampled: j.u64_field("nodes_sampled")? as usize,
         edges_sampled: j.u64_field("edges_sampled")? as usize,
+        // Robustness counters were added after format version 1 shipped;
+        // manifests written before then simply report zero for them.
+        io_retries: j.u64_field("io_retries").unwrap_or(0),
+        faults_injected: j.u64_field("faults_injected").unwrap_or(0),
+        recoveries: j.u64_field("recoveries").unwrap_or(0) as usize,
     })
 }
 

@@ -79,6 +79,16 @@ pub struct EpochReport {
     pub nodes_sampled: usize,
     /// Total neighbour edges sampled across mini batches.
     pub edges_sampled: usize,
+    /// Transient IO failures that were absorbed by the retry layer during the
+    /// epoch (each one is an extra attempt of a partition/bucket/checkpoint
+    /// operation). Zero on a healthy device.
+    pub io_retries: u64,
+    /// Faults injected by an attached [`marius_storage::fault::FaultInjector`]
+    /// during the epoch; zero when no fault plan is armed.
+    pub faults_injected: u64,
+    /// Number of checkpoint-resume recoveries that preceded this epoch in a
+    /// `train_with_recovery` run; zero on an uninterrupted run.
+    pub recoveries: usize,
 }
 
 /// A complete experiment run: configuration label plus per-epoch reports.
@@ -183,7 +193,8 @@ impl ExperimentReport {
                  \"io_wait_time_s\":{},\"stall_time_s\":{},\"writeback_time_s\":{},\
                  \"overlap\":{},\
                  \"io_bytes_read\":{},\"io_bytes_written\":{},\"partition_loads\":{},\
-                 \"examples\":{},\"nodes_sampled\":{},\"edges_sampled\":{}}}",
+                 \"examples\":{},\"nodes_sampled\":{},\"edges_sampled\":{},\
+                 \"io_retries\":{},\"faults_injected\":{},\"recoveries\":{}}}",
                 e.epoch,
                 num(e.loss),
                 num(e.metric),
@@ -201,6 +212,9 @@ impl ExperimentReport {
                 e.examples,
                 e.nodes_sampled,
                 e.edges_sampled,
+                e.io_retries,
+                e.faults_injected,
+                e.recoveries,
             ));
         }
         out.push_str("]}");
@@ -294,6 +308,9 @@ mod tests {
         assert!(json.contains("\"dataset\":\"test-data\""));
         assert!(json.contains("\"final_metric\":0.6"));
         assert!(json.contains("\"epoch_time_s\":10"));
+        assert!(json.contains("\"io_retries\":0"));
+        assert!(json.contains("\"faults_injected\":0"));
+        assert!(json.contains("\"recoveries\":0"));
         assert_eq!(json.matches("\"epoch\":").count(), 2);
     }
 

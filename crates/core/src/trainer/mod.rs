@@ -45,11 +45,14 @@ use crate::task::{DiskSetup, LinkPredictionTask, NodeClassificationTask, Task};
 use marius_graph::datasets::ScaledDataset;
 use marius_graph::PartitionAssignment;
 use marius_pipeline::{step_seed, writeback_safe_point, Pipeline};
-use marius_storage::{IoCostModel, PartitionStore, Result, StorageError};
+use marius_storage::{
+    FaultInjector, IoCostModel, IoFaultPlan, PartitionStore, Result, RetryPolicy, StorageError,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A callback invoked after every completed epoch (metrics are final for the
@@ -134,6 +137,11 @@ pub struct Trainer<T: Task> {
     /// changing the cadence changes subsequent epochs' trajectories.
     pub eval_every: usize,
     epoch_hook: Option<EpochHook>,
+    /// Deterministic IO fault injector attached to the run's partition store
+    /// (chaos testing); `None` trains against the healthy device.
+    faults: Option<Arc<FaultInjector>>,
+    /// Retry policy applied to the store's transient-IO failures.
+    retry: RetryPolicy,
     /// Full durable checkpoints (root directory, cadence in epochs) written at
     /// epoch boundaries; see [`crate::checkpoint`] for the layout.
     checkpoint: Option<(PathBuf, usize)>,
@@ -163,6 +171,8 @@ impl<T: Task> Trainer<T> {
             emulate_device: false,
             eval_every: 1,
             epoch_hook: None,
+            faults: None,
+            retry: RetryPolicy::default_transient(),
             checkpoint: None,
             resume: None,
         }
@@ -187,6 +197,42 @@ impl<T: Task> Trainer<T> {
     pub fn with_eval_every(mut self, every: usize) -> Self {
         self.eval_every = every;
         self
+    }
+
+    /// Arms a deterministic IO fault plan on the run's partition store: disk
+    /// training (and its checkpoint placement) then experiences the plan's
+    /// seeded schedule of transient failures, torn writes and latency spikes.
+    /// Faults are injected entirely inside the store, so the loss trajectory
+    /// stays bit-identical to a fault-free run as long as every fault is
+    /// absorbed by the retry layer. See [`marius_storage::fault`].
+    pub fn with_fault_plan(self, plan: IoFaultPlan) -> Self {
+        self.with_fault_injector(plan.build())
+    }
+
+    /// Attaches an existing fault injector (shared so callers can read its
+    /// counters, or arm outage/permanent windows mid-run).
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// Overrides the bounded-exponential-backoff retry policy the partition
+    /// store applies to transient IO failures
+    /// ([`RetryPolicy::default_transient`] otherwise).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// The fault injector attached to this trainer, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// The epoch index a resumed run starts at, when this trainer continues a
+    /// checkpointed run ([`Trainer::with_resume`]).
+    pub fn resume_start_epoch(&self) -> Option<usize> {
+        self.resume.as_ref().map(|r| r.start_epoch)
     }
 
     /// Installs a callback invoked after every completed epoch.
@@ -554,6 +600,11 @@ impl<T: Task> Trainer<T> {
         } else {
             store
         };
+        let store = match &self.faults {
+            Some(injector) => store.with_fault_injector(Arc::clone(injector)),
+            None => store,
+        };
+        let store = store.with_retry_policy(self.retry);
         store.clear()?;
         let mut setup = self
             .task
@@ -615,6 +666,8 @@ impl<T: Task> Trainer<T> {
             epoch.io_bytes_read = io.bytes_read;
             epoch.io_bytes_written = io.bytes_written;
             epoch.io_time = self.io_model.stats_time(&io);
+            epoch.io_retries = io.io_retries;
+            epoch.faults_injected = io.faults_injected;
 
             let pre_eval_rng = rng.state();
             epoch.metric = if self.should_evaluate(epoch_idx) {
@@ -642,7 +695,7 @@ impl<T: Task> Trainer<T> {
                 // ledger; assert the safe point all the same before linking
                 // the store's files into the snapshot (a partition with a
                 // detached write-back in flight has stale bytes on disk).
-                writeback_safe_point(&setup.buffer);
+                writeback_safe_point(&setup.buffer)?;
                 let mut state = StateDict::new();
                 self.task.save_state(&model, &mut state);
                 self.write_checkpoint(

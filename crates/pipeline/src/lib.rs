@@ -92,8 +92,9 @@ use marius_storage::{EvictedPartition, PartitionBuffer, Result, StorageError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 pub use marius_storage::EpochPlan;
@@ -170,8 +171,86 @@ impl Default for PipelineConfig {
 /// can *assert* the safe point instead of assuming it, and so future partial
 /// (mid-epoch) checkpoints have a primitive that waits for `writeback` to
 /// catch up with `swap`.
-pub fn writeback_safe_point(buffer: &PartitionBuffer) {
-    buffer.writeback_ledger().wait_drained();
+///
+/// Errors only if a peer thread panicked while the ledger was locked (see
+/// `WritebackLedger::wait_drained`) — a typed error rather than a cascading
+/// panic.
+pub fn writeback_safe_point(buffer: &PartitionBuffer) -> Result<()> {
+    buffer.writeback_ledger().wait_drained()
+}
+
+/// Structured description of a failed pipeline stage, produced by the
+/// supervision layer wrapped around every stage thread.
+///
+/// Each stage body runs under [`std::panic::catch_unwind`]; a panic — or a
+/// storage error that survived the store's retry budget — is converted into
+/// a `PipelineError`, the transition clock is aborted, every queue is
+/// closed, the write-back ledger is drained to a safe point, and the error
+/// surfaces from `Pipeline::run_epoch` as
+/// [`StorageError::Pipeline`] (via the [`From`] impl) so trainers and
+/// sessions observe one typed error instead of a deadlock or a poisoned
+/// lock.
+#[derive(Debug, Clone)]
+pub struct PipelineError {
+    /// The stage that failed: `"context-prefetch"`, `"partition-prefetch"`,
+    /// `"batch-worker"`, `"compute"`, or `"writeback-drain"`.
+    pub stage: &'static str,
+    /// Root-cause description (panic payload or storage error text).
+    pub reason: String,
+    /// `true` when the stage panicked; `false` when it returned a typed
+    /// error.
+    pub panicked: bool,
+}
+
+impl PipelineError {
+    /// Describes a stage that panicked with `payload`.
+    fn panicked(stage: &'static str, payload: &(dyn std::any::Any + Send)) -> Self {
+        let reason = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        PipelineError {
+            stage,
+            reason,
+            panicked: true,
+        }
+    }
+
+    /// Attributes a storage error to the stage that raised it. Errors that
+    /// already carry a stage (nested pipeline errors) keep their original
+    /// attribution.
+    fn wrap(stage: &'static str, e: StorageError) -> StorageError {
+        match e {
+            StorageError::Pipeline { .. } => e,
+            e => StorageError::Pipeline {
+                stage: stage.to_string(),
+                reason: e.to_string(),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = if self.panicked { "panicked" } else { "failed" };
+        write!(f, "pipeline stage '{}' {kind}: {}", self.stage, self.reason)
+    }
+}
+
+impl From<PipelineError> for StorageError {
+    fn from(e: PipelineError) -> Self {
+        StorageError::Pipeline {
+            stage: e.stage.to_string(),
+            reason: if e.panicked {
+                format!("panicked: {}", e.reason)
+            } else {
+                e.reason
+            },
+        }
+    }
 }
 
 /// Derives the RNG seed for one plan step of one epoch (SplitMix64 over the
@@ -236,6 +315,14 @@ enum StepOut<B> {
 }
 
 /// A blocking bounded queue with stall accounting and cooperative shutdown.
+///
+/// Lock poisoning: stage panics are caught at the stage boundary before any
+/// queue call unwinds, and every critical section here is a handful of
+/// `VecDeque` operations that cannot be observed half-done — so a poisoned
+/// lock (a peer thread killed mid-section by something unforeseen) is
+/// recovered rather than cascading the panic into every stage that shares
+/// the queue. The supervision layer surfaces the original panic as a typed
+/// error.
 struct BoundedQueue<T> {
     inner: Mutex<QueueState<T>>,
     not_empty: Condvar,
@@ -265,9 +352,12 @@ impl<T> BoundedQueue<T> {
     /// `None` if the queue was closed (the item is dropped).
     fn push(&self, item: T) -> Option<Duration> {
         let start = Instant::now();
-        let mut state = self.inner.lock().expect("queue poisoned");
+        let mut state = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         while state.items.len() >= self.capacity && !state.closed {
-            state = self.not_full.wait(state).expect("queue poisoned");
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         if state.closed {
             return None;
@@ -282,7 +372,7 @@ impl<T> BoundedQueue<T> {
     /// closed *and* drained; otherwise the item and the time spent blocked.
     fn pop(&self) -> Option<(T, Duration)> {
         let start = Instant::now();
-        let mut state = self.inner.lock().expect("queue poisoned");
+        let mut state = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
@@ -292,14 +382,17 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue poisoned");
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: blocked producers drop their items, blocked consumers
     /// drain what is left and then observe the end of the stream.
     fn close(&self) {
-        let mut state = self.inner.lock().expect("queue poisoned");
+        let mut state = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         state.closed = true;
         drop(state);
         self.not_empty.notify_all();
@@ -322,7 +415,7 @@ impl Watermark {
     }
 
     fn publish(&self, step: i64) {
-        let mut done = self.done.lock().expect("clock poisoned");
+        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
         *done = (*done).max(step);
         drop(done);
         self.advanced.notify_all();
@@ -332,9 +425,12 @@ impl Watermark {
     /// Returns the time spent blocked.
     fn wait_for(&self, step: i64, abort: &AtomicBool) -> Duration {
         let start = Instant::now();
-        let mut done = self.done.lock().expect("clock poisoned");
+        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
         while *done < step && !abort.load(Ordering::Relaxed) {
-            done = self.advanced.wait(done).expect("clock poisoned");
+            done = self
+                .advanced
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         start.elapsed()
     }
@@ -554,14 +650,25 @@ impl Pipeline {
         let ledger = buffer.writeback_ledger();
         let clock = TransitionClock::new();
         let clocks = StageClocks::default();
+        // First stage failure recorded by the supervision layer (a panic or
+        // a typed error caught at a stage boundary). The first entry wins:
+        // later failures are cascades of the aborted shutdown it triggers.
+        let failure: Mutex<Option<PipelineError>> = Mutex::new(None);
+        let record_failure = |err: PipelineError| {
+            let mut slot = failure.lock().unwrap_or_else(PoisonError::into_inner);
+            slot.get_or_insert(err);
+            drop(slot);
+            clock.abort();
+        };
 
         let consumer_result: Result<()> = std::thread::scope(|scope| {
+            let record_failure = &record_failure;
             // ---- Stage 1a: the context prefetcher thread. ----------------
             // Bucket files are immutable during the epoch, so step contexts
             // (edges, subgraph, candidates) can be read arbitrarily far ahead
             // of the consumer — this is what lets stage-2 workers start
             // sampling future steps while earlier steps still compute.
-            {
+            let ctx_handle = {
                 let step_queues = &step_queues;
                 let batch_queues = &batch_queues;
                 let clock = &clock;
@@ -569,112 +676,133 @@ impl Pipeline {
                 let store = &store;
                 let assignment = &assignment;
                 scope.spawn(move || {
-                    'steps: for (s, set) in plan.partition_sets.iter().enumerate() {
-                        if clock.abort.load(Ordering::Relaxed) {
-                            break 'steps;
-                        }
-                        let busy_start = Instant::now();
-                        let step_in = (|| -> Result<StepIn> {
-                            // Read the buckets in the same set × set order
-                            // `load_set` uses so the subgraph (and therefore
-                            // sampling) is identical to the sequential path's.
-                            let mut edges: Vec<Edge> = Vec::new();
-                            for &i in set {
-                                for &j in set {
-                                    edges.extend_from_slice(&store.read_bucket(i, j)?);
-                                }
-                            }
-                            let subgraph = Arc::new(InMemorySubgraph::from_edges(&edges));
-                            let mut sorted_set = set.clone();
-                            sorted_set.sort_unstable();
-                            let mut candidates = Vec::new();
-                            for &p in &sorted_set {
-                                candidates.extend_from_slice(assignment.nodes_in(p));
-                            }
-                            Ok(StepIn {
-                                ctx: Arc::new(StepContext {
-                                    step: s,
-                                    set: set.clone(),
-                                    candidates,
-                                    subgraph,
-                                }),
-                                edges,
-                            })
-                        })();
-                        add_nanos(&clocks.prefetch_busy, busy_start.elapsed());
-                        match step_in {
-                            Ok(item) => match step_queues[s % workers].push(item) {
-                                Some(waited) => add_nanos(&clocks.prefetch_stall, waited),
-                                None => break 'steps, // closed: epoch aborted
-                            },
-                            Err(e) => {
-                                // Surface the error through the worker queue
-                                // that owns this step so the consumer sees it
-                                // in order, then stop prefetching.
-                                batch_queues[s % workers].push(StepOut::Err(e));
+                    let body = || {
+                        'steps: for (s, set) in plan.partition_sets.iter().enumerate() {
+                            if clock.abort.load(Ordering::Relaxed) {
                                 break 'steps;
                             }
+                            let busy_start = Instant::now();
+                            let step_in = (|| -> Result<StepIn> {
+                                // Read the buckets in the same set × set order
+                                // `load_set` uses so the subgraph (and therefore
+                                // sampling) is identical to the sequential path's.
+                                let mut edges: Vec<Edge> = Vec::new();
+                                for &i in set {
+                                    for &j in set {
+                                        edges.extend_from_slice(&store.read_bucket(i, j)?);
+                                    }
+                                }
+                                let subgraph = Arc::new(InMemorySubgraph::from_edges(&edges));
+                                let mut sorted_set = set.clone();
+                                sorted_set.sort_unstable();
+                                let mut candidates = Vec::new();
+                                for &p in &sorted_set {
+                                    candidates.extend_from_slice(assignment.nodes_in(p));
+                                }
+                                Ok(StepIn {
+                                    ctx: Arc::new(StepContext {
+                                        step: s,
+                                        set: set.clone(),
+                                        candidates,
+                                        subgraph,
+                                    }),
+                                    edges,
+                                })
+                            })();
+                            add_nanos(&clocks.prefetch_busy, busy_start.elapsed());
+                            match step_in {
+                                Ok(item) => match step_queues[s % workers].push(item) {
+                                    Some(waited) => add_nanos(&clocks.prefetch_stall, waited),
+                                    None => break 'steps, // closed: epoch aborted
+                                },
+                                Err(e) => {
+                                    // Surface the error through the worker queue
+                                    // that owns this step so the consumer sees it
+                                    // in order, then stop prefetching.
+                                    batch_queues[s % workers].push(StepOut::Err(
+                                        PipelineError::wrap("context-prefetch", e),
+                                    ));
+                                    break 'steps;
+                                }
+                            }
                         }
+                    };
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+                        record_failure(PipelineError::panicked(
+                            "context-prefetch",
+                            payload.as_ref(),
+                        ));
                     }
                     // Close on every exit path (including aborts raised by
-                    // another stage) so the stage-2 workers never block on a
-                    // producer that has stopped.
+                    // another stage, and panics caught above) so the stage-2
+                    // workers never block on a producer that has stopped.
                     for q in step_queues.iter() {
                         q.close();
                     }
-                });
-            }
+                })
+            };
 
             // ---- Stage 1b: the partition prefetcher thread. --------------
             // Partition files are rewritten by the write-back drain after an
             // eviction, so each read waits for the *write-back* watermark to
             // pass the partition's last eviction before it is issued: only
             // then are the file's bytes the evicted generation's, not stale.
-            {
+            let parts_handle = {
                 let parts_queue = &parts_queue;
                 let clock = &clock;
                 let clocks = &clocks;
                 let io_plan = &io_plan;
                 let store = &store;
                 scope.spawn(move || {
-                    'steps: for s in 0..plan.partition_sets.len() {
-                        if clock.abort.load(Ordering::Relaxed) {
-                            break 'steps;
-                        }
-                        let dep = io_plan.read_after[s];
-                        if dep >= 0 {
-                            add_nanos(
-                                &clocks.prefetch_stall,
-                                clock.writeback.wait_for(dep, &clock.abort),
-                            );
-                        }
-                        if clock.abort.load(Ordering::Relaxed) {
-                            break 'steps;
-                        }
-                        let busy_start = Instant::now();
-                        let parts = (|| -> Result<Vec<PartitionPayload>> {
-                            let mut new_parts = Vec::with_capacity(io_plan.loads[s].len());
-                            for &p in &io_plan.loads[s] {
-                                let (values, state) = store.read_partition(p)?;
-                                new_parts.push((p, values, state));
+                    let body = || {
+                        'steps: for s in 0..plan.partition_sets.len() {
+                            if clock.abort.load(Ordering::Relaxed) {
+                                break 'steps;
                             }
-                            Ok(new_parts)
-                        })();
-                        add_nanos(&clocks.prefetch_busy, busy_start.elapsed());
-                        let failed = parts.is_err();
-                        match parts_queue.push(parts.map(|p| (s, p))) {
-                            Some(waited) => add_nanos(&clocks.prefetch_stall, waited),
-                            None => break 'steps,
+                            let dep = io_plan.read_after[s];
+                            if dep >= 0 {
+                                add_nanos(
+                                    &clocks.prefetch_stall,
+                                    clock.writeback.wait_for(dep, &clock.abort),
+                                );
+                            }
+                            if clock.abort.load(Ordering::Relaxed) {
+                                break 'steps;
+                            }
+                            let busy_start = Instant::now();
+                            let parts = (|| -> Result<Vec<PartitionPayload>> {
+                                let mut new_parts = Vec::with_capacity(io_plan.loads[s].len());
+                                for &p in &io_plan.loads[s] {
+                                    let (values, state) = store.read_partition(p)?;
+                                    new_parts.push((p, values, state));
+                                }
+                                Ok(new_parts)
+                            })();
+                            add_nanos(&clocks.prefetch_busy, busy_start.elapsed());
+                            let failed = parts.is_err();
+                            let parts = parts
+                                .map(|p| (s, p))
+                                .map_err(|e| PipelineError::wrap("partition-prefetch", e));
+                            match parts_queue.push(parts) {
+                                Some(waited) => add_nanos(&clocks.prefetch_stall, waited),
+                                None => break 'steps,
+                            }
+                            if failed {
+                                break 'steps;
+                            }
                         }
-                        if failed {
-                            break 'steps;
-                        }
+                    };
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+                        record_failure(PipelineError::panicked(
+                            "partition-prefetch",
+                            payload.as_ref(),
+                        ));
                     }
                     // Close on every exit path so the consumer never blocks
                     // on a prefetcher that has stopped.
                     parts_queue.close();
-                });
-            }
+                })
+            };
 
             // ---- Stage 4: the write-back drain thread. -------------------
             // Receives each step's detached dirty evictions from the consumer
@@ -690,83 +818,117 @@ impl Pipeline {
                 let store = &store;
                 let ledger = Arc::clone(&ledger);
                 scope.spawn(move || -> Result<()> {
-                    let mut first_err: Option<StorageError> = None;
-                    while let Some(((step, evicted), waited)) = wb_queue.pop() {
-                        add_nanos(&clocks.writeback_stall, waited);
-                        // The payload is queued by the consumer after its swap
-                        // publish, so this wait documents (and cheaply
-                        // enforces) that the drain never runs ahead of the
-                        // swap that detached its generation.
-                        clock.swap.wait_for(step as i64, &clock.abort);
-                        let busy_start = Instant::now();
-                        for part in &evicted {
-                            if first_err.is_none() {
-                                match store.write_partition(part.id, &part.values, &part.state) {
-                                    Ok(()) => {
-                                        clocks.writeback_parts.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    Err(e) => {
-                                        first_err = Some(e);
-                                        clock.abort();
+                    let body = || -> Option<StorageError> {
+                        let mut first_err: Option<StorageError> = None;
+                        while let Some(((step, evicted), waited)) = wb_queue.pop() {
+                            add_nanos(&clocks.writeback_stall, waited);
+                            // The payload is queued by the consumer after its swap
+                            // publish, so this wait documents (and cheaply
+                            // enforces) that the drain never runs ahead of the
+                            // swap that detached its generation.
+                            clock.swap.wait_for(step as i64, &clock.abort);
+                            let busy_start = Instant::now();
+                            for part in &evicted {
+                                if first_err.is_none() {
+                                    match store.write_partition(part.id, &part.values, &part.state)
+                                    {
+                                        Ok(()) => {
+                                            clocks.writeback_parts.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        Err(e) => {
+                                            first_err = Some(e);
+                                            clock.abort();
+                                        }
                                     }
                                 }
+                                ledger.mark_drained(part.id);
                             }
-                            ledger.mark_drained(part.id);
+                            add_nanos(&clocks.writeback_busy, busy_start.elapsed());
+                            clock.writeback.publish(step as i64);
                         }
-                        add_nanos(&clocks.writeback_busy, busy_start.elapsed());
-                        clock.writeback.publish(step as i64);
-                    }
-                    match first_err {
-                        None => Ok(()),
-                        Some(e) => Err(e),
+                        first_err
+                    };
+                    match catch_unwind(AssertUnwindSafe(body)) {
+                        Ok(None) => Ok(()),
+                        Ok(Some(e)) => Err(PipelineError::wrap("writeback-drain", e)),
+                        Err(payload) => {
+                            record_failure(PipelineError::panicked(
+                                "writeback-drain",
+                                payload.as_ref(),
+                            ));
+                            // The drain can no longer deliver its detached
+                            // payloads. Keep the lane live in degraded mode:
+                            // pop what remains, marking it drained and
+                            // advancing the watermark so no peer blocks
+                            // forever, then abandon anything still pending
+                            // (the run has failed; those bytes are recovered
+                            // from the last checkpoint, not this epoch).
+                            while let Some(((step, evicted), _)) = wb_queue.pop() {
+                                for part in &evicted {
+                                    ledger.mark_drained(part.id);
+                                }
+                                clock.writeback.publish(step as i64);
+                            }
+                            ledger.abandon_pending();
+                            Ok(())
+                        }
                     }
                 })
             };
 
             // ---- Stage 2: batch-construction workers. --------------------
+            let mut worker_handles = Vec::with_capacity(workers);
             for w in 0..workers {
                 let in_q = &step_queues[w];
                 let out_q = &batch_queues[w];
                 let clocks = &clocks;
                 let make_batches = &make_batches;
-                scope.spawn(move || {
-                    while let Some((step_in, waited)) = in_q.pop() {
-                        add_nanos(&clocks.sample_stall, waited);
-                        let StepIn { ctx, edges } = step_in;
-                        // Publish the step boundary immediately so the consumer
-                        // can swap the buffer while this worker still samples.
-                        match out_q.push(StepOut::Begin {
-                            ctx: Arc::clone(&ctx),
-                            edges,
-                        }) {
-                            Some(waited) => add_nanos(&clocks.sample_stall, waited),
-                            None => return,
+                worker_handles.push(scope.spawn(move || {
+                    let body = || {
+                        while let Some((step_in, waited)) = in_q.pop() {
+                            add_nanos(&clocks.sample_stall, waited);
+                            let StepIn { ctx, edges } = step_in;
+                            // Publish the step boundary immediately so the consumer
+                            // can swap the buffer while this worker still samples.
+                            match out_q.push(StepOut::Begin {
+                                ctx: Arc::clone(&ctx),
+                                edges,
+                            }) {
+                                Some(waited) => add_nanos(&clocks.sample_stall, waited),
+                                None => return,
+                            }
+                            let mut rng =
+                                StdRng::seed_from_u64(step_seed(epoch_seed, ctx.step as u64));
+                            let step_start = Instant::now();
+                            let mut sink_wait = Duration::ZERO;
+                            let mut closed = false;
+                            let mut sink = |batch: B| match out_q.push(StepOut::Batch(batch)) {
+                                Some(waited) => sink_wait += waited,
+                                None => closed = true,
+                            };
+                            make_batches(&ctx, &mut rng, &mut sink);
+                            let sink_wait = sink_wait;
+                            add_nanos(
+                                &clocks.sample_busy,
+                                step_start.elapsed().saturating_sub(sink_wait),
+                            );
+                            add_nanos(&clocks.sample_stall, sink_wait);
+                            if closed {
+                                return;
+                            }
+                            match out_q.push(StepOut::End) {
+                                Some(waited) => add_nanos(&clocks.sample_stall, waited),
+                                None => return,
+                            }
                         }
-                        let mut rng = StdRng::seed_from_u64(step_seed(epoch_seed, ctx.step as u64));
-                        let step_start = Instant::now();
-                        let mut sink_wait = Duration::ZERO;
-                        let mut closed = false;
-                        let mut sink = |batch: B| match out_q.push(StepOut::Batch(batch)) {
-                            Some(waited) => sink_wait += waited,
-                            None => closed = true,
-                        };
-                        make_batches(&ctx, &mut rng, &mut sink);
-                        let sink_wait = sink_wait;
-                        add_nanos(
-                            &clocks.sample_busy,
-                            step_start.elapsed().saturating_sub(sink_wait),
-                        );
-                        add_nanos(&clocks.sample_stall, sink_wait);
-                        if closed {
-                            return;
-                        }
-                        match out_q.push(StepOut::End) {
-                            Some(waited) => add_nanos(&clocks.sample_stall, waited),
-                            None => return,
-                        }
+                    };
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+                        record_failure(PipelineError::panicked("batch-worker", payload.as_ref()));
                     }
+                    // Idempotent: lets the consumer drain what was produced
+                    // and then observe the end of this worker's stream.
                     out_q.close();
-                });
+                }));
             }
 
             // ---- Stage 3: the compute consumer (this thread). ------------
@@ -847,7 +1009,18 @@ impl Pipeline {
                 }
                 Ok(())
             };
-            let result = run_consumer();
+            // The consumer runs under the same supervision as the spawned
+            // stages: a panic in user compute code (or the buffer) converts
+            // to a typed error after an orderly shutdown instead of
+            // unwinding through the scope and cascading into every thread.
+            let result: Result<()> = match catch_unwind(AssertUnwindSafe(&mut run_consumer)) {
+                Ok(r) => r.map_err(|e| PipelineError::wrap("compute", e)),
+                Err(payload) => {
+                    let err = PipelineError::panicked("compute", payload.as_ref());
+                    record_failure(err.clone());
+                    Err(err.into())
+                }
+            };
 
             // Shut everything down (idempotent) so the scope can join even on
             // the error path. The write-back queue is closed only now — after
@@ -863,13 +1036,40 @@ impl Pipeline {
             }
             parts_queue.close();
             wb_queue.close();
-            let wb_result = wb_handle.join().expect("write-back drain panicked");
-            // A drain disk error is the root cause of any cascade it started,
-            // so it takes precedence over the consumer's verdict.
-            match (result, wb_result) {
-                (r, Ok(())) => r,
-                (_, Err(e)) => Err(e),
+            // Join every stage before arbitrating so late failures are
+            // recorded and no thread outlives the verdict. Stage bodies catch
+            // their own panics, so these joins cannot themselves panic.
+            for handle in worker_handles {
+                let _ = handle.join();
             }
+            let _ = ctx_handle.join();
+            let _ = parts_handle.join();
+            let wb_result = match wb_handle.join() {
+                Ok(r) => r,
+                Err(payload) => {
+                    Err(PipelineError::panicked("writeback-drain", payload.as_ref()).into())
+                }
+            };
+            let recorded = failure
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            // Arbitration: a recorded stage failure is the root cause of any
+            // cascade it triggered (closed queues, protocol errors), so it
+            // wins; a drain disk error likewise outranks the consumer's
+            // secondary verdict.
+            let outcome = match (result, wb_result, recorded) {
+                (_, _, Some(root)) => Err(root.into()),
+                (r, Ok(()), None) => r,
+                (_, Err(e), None) => Err(e),
+            };
+            if outcome.is_err() {
+                // A failed epoch may leave detached evictions that can no
+                // longer land. Nothing may block on them: the run is being
+                // abandoned and recovery goes through checkpoints.
+                ledger.abandon_pending();
+            }
+            outcome
         });
 
         consumer_result?;
@@ -1098,7 +1298,7 @@ mod tests {
                 },
             )
             .unwrap();
-        writeback_safe_point(&buffer);
+        writeback_safe_point(&buffer).unwrap();
         assert_eq!(buffer.writeback_ledger().pending_count(), 0);
     }
 

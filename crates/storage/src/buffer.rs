@@ -79,14 +79,26 @@ pub struct WritebackLedger {
 }
 
 impl WritebackLedger {
+    /// Locks the pending set, recovering from poison: every critical section
+    /// is a single `HashSet` operation that cannot be observed half-done, so
+    /// a peer thread that panicked while holding the lock left consistent
+    /// state behind. Recovering here keeps a stage panic from cascading into
+    /// every thread that shares the ledger — the panic itself is surfaced as
+    /// a typed error by the pipeline's supervision layer.
+    fn lock_pending(&self) -> std::sync::MutexGuard<'_, HashSet<PartitionId>> {
+        self.pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn mark_pending(&self, id: PartitionId) {
-        self.pending.lock().expect("ledger poisoned").insert(id);
+        self.lock_pending().insert(id);
     }
 
     /// Records that `id`'s detached contents have been written back (or
     /// abandoned by an aborting drain). Wakes any [`WritebackLedger::wait_drained`] callers.
     pub fn mark_drained(&self, id: PartitionId) {
-        let mut pending = self.pending.lock().expect("ledger poisoned");
+        let mut pending = self.lock_pending();
         pending.remove(&id);
         drop(pending);
         self.drained.notify_all();
@@ -94,20 +106,45 @@ impl WritebackLedger {
 
     /// `true` while `id` has a detached write-back in flight.
     pub fn is_pending(&self, id: PartitionId) -> bool {
-        self.pending.lock().expect("ledger poisoned").contains(&id)
+        self.lock_pending().contains(&id)
     }
 
     /// Number of partitions with write-backs in flight.
     pub fn pending_count(&self) -> usize {
-        self.pending.lock().expect("ledger poisoned").len()
+        self.lock_pending().len()
+    }
+
+    /// Abandons every pending write-back and wakes all waiters. Called by
+    /// the pipeline's supervision layer when a failed drain can no longer
+    /// deliver the detached bytes: the run has failed and recovery goes
+    /// through checkpoints, so blocking peers on writes that will never land
+    /// would only convert a typed error into a deadlock. Returns how many
+    /// write-backs were abandoned.
+    pub fn abandon_pending(&self) -> usize {
+        let mut pending = self.lock_pending();
+        let abandoned = pending.len();
+        pending.clear();
+        drop(pending);
+        self.drained.notify_all();
+        abandoned
     }
 
     /// Blocks until every pending write-back has been marked drained.
-    pub fn wait_drained(&self) {
-        let mut pending = self.pending.lock().expect("ledger poisoned");
+    ///
+    /// Unlike the single-operation methods above, a waiter cannot safely
+    /// recover a poisoned condition-variable wait, so a panicked peer
+    /// surfaces here as a typed [`StorageError::Pipeline`] instead of a
+    /// cascading panic.
+    pub fn wait_drained(&self) -> Result<()> {
+        let poisoned = |_| StorageError::Pipeline {
+            stage: "writeback-ledger".into(),
+            reason: "a peer thread panicked while the write-back ledger was locked".into(),
+        };
+        let mut pending = self.pending.lock().map_err(poisoned)?;
         while !pending.is_empty() {
-            pending = self.drained.wait(pending).expect("ledger poisoned");
+            pending = self.drained.wait(pending).map_err(poisoned)?;
         }
+        Ok(())
     }
 }
 
@@ -463,7 +500,7 @@ impl PartitionBuffer {
     /// asynchronous drain are waited out first, so after `flush` returns the
     /// store holds the complete, current state of every partition.
     pub fn flush(&mut self) -> Result<()> {
-        self.ledger.wait_drained();
+        self.ledger.wait_drained()?;
         if !self.learnable {
             return Ok(());
         }

@@ -7,14 +7,16 @@
 //! sequential transfers — the access pattern whose size §6 reasons about when it
 //! bounds the number of physical partitions.
 
+use crate::fault::{FaultInjector, IoFaultPlan};
 use crate::io_model::IoCostModel;
+use crate::retry::{self, RetryPolicy};
 use crate::{Result, StorageError};
 use marius_graph::{Edge, PartitionId};
 use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Extension of the temporary siblings every atomic placement goes through.
@@ -91,6 +93,12 @@ pub struct IoStats {
     pub writes: u64,
     /// Size in bytes of the smallest read performed (0 if none yet).
     pub min_read_bytes: u64,
+    /// Number of transparently retried operations (transient faults absorbed
+    /// by the store's [`RetryPolicy`] without surfacing to callers).
+    pub io_retries: u64,
+    /// Number of faults injected by the attached
+    /// [`crate::fault::FaultInjector`], if any (0 on real devices).
+    pub faults_injected: u64,
 }
 
 #[derive(Debug, Default)]
@@ -100,6 +108,11 @@ struct IoCounters {
     reads: AtomicU64,
     writes: AtomicU64,
     min_read_bytes: AtomicU64,
+    io_retries: AtomicU64,
+    /// The injector's monotonic fault count at the last
+    /// [`PartitionStore::reset_io_stats`], so per-epoch snapshots report a
+    /// delta like every other counter.
+    faults_baseline: AtomicU64,
 }
 
 impl IoCounters {
@@ -136,6 +149,8 @@ impl IoCounters {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             min_read_bytes: self.min_read_bytes.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            faults_injected: 0,
         }
     }
 }
@@ -164,7 +179,12 @@ impl DeviceGate {
     fn charge(&self, bytes: u64) {
         let cost = self.model.transfer_time(bytes, 1);
         let finish = {
-            let mut next_free = self.next_free.lock().expect("device gate poisoned");
+            // Recover rather than cascade if a peer thread panicked while
+            // holding the gate: the state is a single Instant, never torn.
+            let mut next_free = self
+                .next_free
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             let start = (*next_free).max(Instant::now());
             *next_free = start + cost;
             *next_free
@@ -192,16 +212,34 @@ pub struct PartitionStore {
     counters: Arc<IoCounters>,
     /// When set, reads/writes are slowed to this shared device emulation.
     throttle: Option<Arc<DeviceGate>>,
+    /// When set, reads/writes are checked against this deterministic fault
+    /// schedule (see [`crate::fault`]).
+    faults: Option<Arc<FaultInjector>>,
+    /// Retry policy applied to every fallible store operation.
+    retry: RetryPolicy,
 }
 
 impl PartitionStore {
     /// Opens (creating if necessary) a partition store rooted at `root`.
+    ///
+    /// Stale `*.tmp` staging files left behind by an interrupted atomic
+    /// write (a crash, or an injected torn write) are swept on open: they
+    /// are torn by definition and no reader ever observes them, but leaving
+    /// them around leaks disk and confuses directory listings.
     pub fn open(root: impl AsRef<Path>) -> Result<Self> {
         fs::create_dir_all(root.as_ref())?;
+        for entry in fs::read_dir(root.as_ref())? {
+            let path = entry?.path();
+            if path.is_file() && is_tmp(&path) {
+                let _ = fs::remove_file(&path);
+            }
+        }
         Ok(PartitionStore {
             root: root.as_ref().to_path_buf(),
             counters: Arc::new(IoCounters::default()),
             throttle: None,
+            faults: None,
+            retry: RetryPolicy::default_transient(),
         })
     }
 
@@ -213,6 +251,82 @@ impl PartitionStore {
     pub fn with_emulated_device(mut self, model: IoCostModel) -> Self {
         self.throttle = Some(Arc::new(DeviceGate::new(model)));
         self
+    }
+
+    /// Attaches a deterministic fault injector (shared by every clone of
+    /// this store): each subsequent operation is checked against the
+    /// injector's schedule and may fail transiently, fail permanently, tear
+    /// its staging file, or suffer a latency spike. Sibling of
+    /// [`PartitionStore::with_emulated_device`]; see [`crate::fault`].
+    pub fn with_fault_injector(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Convenience: builds and attaches the injector for `plan`.
+    pub fn with_fault_plan(self, plan: IoFaultPlan) -> Self {
+        self.with_fault_injector(plan.build())
+    }
+
+    /// Overrides the retry policy applied to every store operation
+    /// (defaults to [`RetryPolicy::default_transient`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The fault injector attached to this store, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// Runs `op` under the store's retry policy, classifying errors through
+    /// [`StorageError::is_transient`] and counting retries into the IO stats.
+    fn retrying<T>(&self, key: &str, op: impl FnMut() -> Result<T>) -> Result<T> {
+        retry::with_retry(
+            &self.retry,
+            self.retry.op_seed(key),
+            &self.counters.io_retries,
+            op,
+        )
+    }
+
+    /// Checks a read against the fault schedule, if one is attached.
+    fn check_read_fault(&self, key: &str) -> Result<()> {
+        match &self.faults {
+            Some(f) => f.check_read(key),
+            None => Ok(()),
+        }
+    }
+
+    /// Checks a write against the fault schedule. An injected torn write
+    /// leaves a prefix of `bytes` at `path`'s staging sibling — exactly the
+    /// litter a crash mid-[`atomic_write`] would leave — before failing.
+    fn check_write_fault(&self, key: &str, path: &Path, bytes: &[u8]) -> Result<()> {
+        match &self.faults {
+            Some(f) => f.check_write(key, |frac| {
+                let torn = ((bytes.len() as f64) * frac) as usize;
+                let _ = fs::write(tmp_sibling(path), &bytes[..torn.min(bytes.len())]);
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Atomically places `bytes` at `path` under fault injection and retry.
+    /// `key` is the stable operation key for the fault/jitter schedules.
+    fn place(&self, key: &str, path: &Path, bytes: &[u8]) -> Result<()> {
+        self.retrying(key, || {
+            self.check_write_fault(key, path, bytes)?;
+            atomic_write(path, bytes).map_err(StorageError::from)
+        })
+    }
+
+    /// Atomically places `bytes` at `path` with the store's fault injection
+    /// and retry applied, without charging the IO byte counters (the
+    /// checkpoint writer uses this so durability traffic does not skew the
+    /// per-epoch IO accounting; retries still count into `io_retries`).
+    pub fn place_file(&self, key: &str, path: &Path, bytes: &[u8]) -> Result<()> {
+        self.place(key, path, bytes)
     }
 
     /// Charges one op of `bytes` against the emulated device, if any.
@@ -241,7 +355,13 @@ impl PartitionStore {
 
     /// Returns a snapshot of the IO counters.
     pub fn io_stats(&self) -> IoStats {
-        self.counters.snapshot()
+        let mut stats = self.counters.snapshot();
+        if let Some(faults) = &self.faults {
+            stats.faults_injected = faults
+                .faults_injected()
+                .saturating_sub(self.counters.faults_baseline.load(Ordering::Relaxed));
+        }
+        stats
     }
 
     /// Resets the IO counters (used between epochs by the experiment harnesses).
@@ -251,6 +371,14 @@ impl PartitionStore {
         self.counters.reads.store(0, Ordering::Relaxed);
         self.counters.writes.store(0, Ordering::Relaxed);
         self.counters.min_read_bytes.store(0, Ordering::Relaxed);
+        self.counters.io_retries.store(0, Ordering::Relaxed);
+        // The injector's fault counter is monotonic (it is shared across
+        // clones and trainer restarts); re-baseline instead of resetting.
+        if let Some(faults) = &self.faults {
+            self.counters
+                .faults_baseline
+                .store(faults.faults_injected(), Ordering::Relaxed);
+        }
     }
 
     fn partition_path(&self, id: PartitionId) -> PathBuf {
@@ -278,7 +406,7 @@ impl PartitionStore {
         for s in state {
             buf.extend_from_slice(&s.to_le_bytes());
         }
-        atomic_write(&self.partition_path(id), &buf)?;
+        self.place(&format!("partition/{id}"), &self.partition_path(id), &buf)?;
         self.counters.record_write(buf.len() as u64);
         self.throttle_op(buf.len() as u64);
         Ok(())
@@ -286,6 +414,15 @@ impl PartitionStore {
 
     /// Reads a node partition back as `(values, state)`.
     pub fn read_partition(&self, id: PartitionId) -> Result<(Vec<f32>, Vec<f32>)> {
+        let key = format!("partition/{id}");
+        self.retrying(&key, || {
+            self.check_read_fault(&key)?;
+            self.read_partition_once(id)
+        })
+    }
+
+    /// One read attempt of a node partition (no fault check, no retry).
+    fn read_partition_once(&self, id: PartitionId) -> Result<(Vec<f32>, Vec<f32>)> {
         let path = self.partition_path(id);
         let mut file = fs::File::open(&path).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
@@ -328,7 +465,11 @@ impl PartitionStore {
             buf.extend_from_slice(&e.dst.to_le_bytes());
             buf.extend_from_slice(&e.rel.to_le_bytes());
         }
-        atomic_write(&self.bucket_path(src, dst), &buf)?;
+        self.place(
+            &format!("bucket/{src}_{dst}"),
+            &self.bucket_path(src, dst),
+            &buf,
+        )?;
         self.counters.record_write(buf.len() as u64);
         self.throttle_op(buf.len() as u64);
         Ok(())
@@ -337,6 +478,15 @@ impl PartitionStore {
     /// Reads an edge bucket. A missing file is treated as an empty bucket (empty
     /// buckets are common and not all of them are materialised).
     pub fn read_bucket(&self, src: PartitionId, dst: PartitionId) -> Result<Vec<Edge>> {
+        let key = format!("bucket/{src}_{dst}");
+        self.retrying(&key, || {
+            self.check_read_fault(&key)?;
+            self.read_bucket_once(src, dst)
+        })
+    }
+
+    /// One read attempt of an edge bucket (no fault check, no retry).
+    fn read_bucket_once(&self, src: PartitionId, dst: PartitionId) -> Result<Vec<Edge>> {
         let path = self.bucket_path(src, dst);
         let buf = match fs::read(&path) {
             Ok(b) => b,
@@ -381,7 +531,17 @@ impl PartitionStore {
                 continue;
             }
             let name = path.file_name().expect("read_dir yields named files");
-            atomic_link_or_copy(&path, &staging.join(name))?;
+            let key = format!("snapshot/{}", name.to_string_lossy());
+            let target = staging.join(name);
+            // Faulted/retried per file: link/copy staging lives inside the
+            // snapshot's own staging dir, so a failing attempt tears nothing
+            // the store (or a finished snapshot) can observe.
+            self.retrying(&key, || {
+                if let Some(f) = &self.faults {
+                    f.check_write(&key, |_| {})?;
+                }
+                atomic_link_or_copy(&path, &target).map_err(StorageError::from)
+            })?;
         }
         if dst.exists() {
             fs::remove_dir_all(dst)?;
@@ -410,7 +570,14 @@ impl PartitionStore {
                 continue;
             }
             let name = path.file_name().expect("read_dir yields named files");
-            atomic_link_or_copy(&path, &self.root.join(name))?;
+            let key = format!("restore/{}", name.to_string_lossy());
+            let target = self.root.join(name);
+            self.retrying(&key, || {
+                if let Some(f) = &self.faults {
+                    f.check_write(&key, |_| {})?;
+                }
+                atomic_link_or_copy(&path, &target).map_err(StorageError::from)
+            })?;
         }
         Ok(())
     }
@@ -582,5 +749,80 @@ mod tests {
         let store = temp_store("snapshot-missing");
         let err = store.restore_from(store.root().join("nope")).unwrap_err();
         assert!(matches!(err, StorageError::Checkpoint { .. }), "{err}");
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_staging_files() {
+        let store = temp_store("tmp-sweep");
+        store.write_partition(0, &[1.0], &[0.0]).unwrap();
+        // Litter abandoned by interrupted atomic writes.
+        fs::write(store.root().join("node_partition_7.bin.tmp"), b"torn").unwrap();
+        fs::write(store.root().join("edge_bucket_0_1.bin.tmp"), b"torn").unwrap();
+        let reopened = PartitionStore::open(store.root()).unwrap();
+        assert!(!store.root().join("node_partition_7.bin.tmp").exists());
+        assert!(!store.root().join("edge_bucket_0_1.bin.tmp").exists());
+        // Completed files survive the sweep.
+        assert_eq!(reopened.read_partition(0).unwrap().0, vec![1.0]);
+    }
+
+    #[test]
+    fn flaky_store_retries_to_success_and_counts_faults() {
+        use crate::fault::IoFaultPlan;
+        use std::time::Duration;
+        let plan = IoFaultPlan {
+            read_fail: 0.3,
+            write_fail: 0.3,
+            torn_write: 0.5,
+            spike: Duration::ZERO,
+            ..IoFaultPlan::quiet(42)
+        };
+        let store = temp_store("flaky-roundtrip").with_fault_plan(plan);
+        let values = vec![1.5f32; 32];
+        let state = vec![0.25f32; 32];
+        for id in 0..8 {
+            store.write_partition(id, &values, &state).unwrap();
+            let (v, s) = store.read_partition(id).unwrap();
+            assert_eq!(v, values);
+            assert_eq!(s, state);
+            store
+                .write_bucket(id, id, &[Edge::new(u64::from(id), u64::from(id) + 1)])
+                .unwrap();
+            assert_eq!(store.read_bucket(id, id).unwrap().len(), 1);
+        }
+        let stats = store.io_stats();
+        assert!(stats.faults_injected > 0, "plan never fired: {stats:?}");
+        assert!(stats.io_retries >= stats.faults_injected);
+        // Torn staging litter from injected faults was overwritten by the
+        // retries' own staging files and renamed away: nothing remains.
+        for entry in fs::read_dir(store.root()).unwrap() {
+            assert!(!is_tmp(&entry.unwrap().path()), "torn file left behind");
+        }
+        // Re-baselining reports only new faults.
+        store.reset_io_stats();
+        assert_eq!(store.io_stats().faults_injected, 0);
+        assert_eq!(store.io_stats().io_retries, 0);
+    }
+
+    #[test]
+    fn permanent_fault_surfaces_without_retry_exhaustion_noise() {
+        use crate::fault::IoFaultPlan;
+        let store = temp_store("permanent-fault").with_fault_plan(IoFaultPlan::permanent(1, 0));
+        let err = store.write_partition(0, &[1.0], &[0.0]).unwrap_err();
+        assert!(!err.is_transient());
+        assert!(format!("{err}").contains("permanent"), "{err}");
+        // Exactly one fault: permanent errors are not retried.
+        assert_eq!(store.io_stats().faults_injected, 1);
+        assert_eq!(store.io_stats().io_retries, 0);
+    }
+
+    #[test]
+    fn outage_longer_than_the_retry_budget_exhausts_it() {
+        use crate::fault::IoFaultPlan;
+        let store = temp_store("outage-exhaust").with_fault_plan(IoFaultPlan::outage(3, 0, 50));
+        let err = store.read_partition(0).unwrap_err();
+        assert!(err.is_transient());
+        assert!(format!("{err}").contains("budget"), "{err}");
+        let budget = RetryPolicy::default_transient().max_retries as u64;
+        assert_eq!(store.io_stats().io_retries, budget);
     }
 }

@@ -138,6 +138,7 @@ mod tests {
             reads: 10,
             writes: 10,
             min_read_bytes: 1,
+            ..IoStats::default()
         };
         let t = m.stats_time(&stats);
         assert!((t.as_secs_f64() - 1.0).abs() < 0.1);

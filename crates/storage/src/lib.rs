@@ -45,14 +45,18 @@
 
 pub mod buffer;
 pub mod disk;
+pub mod fault;
 pub mod io_model;
 pub mod policy;
+pub mod retry;
 pub mod tuning;
 
 pub use buffer::{EvictedPartition, PartitionBuffer, WritebackLedger};
 pub use disk::{atomic_write, IoStats, PartitionStore};
+pub use fault::{FaultInjector, IoFaultPlan, Outage};
 pub use io_model::IoCostModel;
 pub use policy::{BetaPolicy, CometPolicy, EpochPlan, InMemoryPolicy, NodeCachePolicy};
+pub use retry::RetryPolicy;
 pub use tuning::{auto_tune, edge_permutation_bias, TuningConfig};
 
 /// Errors produced by the storage layer.
@@ -77,6 +81,22 @@ pub enum StorageError {
         /// Human readable description.
         reason: String,
     },
+    /// A transient fault: the operation is safe to retry and is expected to
+    /// succeed eventually (injected faults, interrupted syscalls, device
+    /// timeouts). See [`fault`] for the taxonomy and retry semantics.
+    Transient {
+        /// Human readable description.
+        reason: String,
+    },
+    /// A pipeline stage failed or panicked; wraps the root cause with the
+    /// stage that raised it. Always permanent: by the time a fault surfaces
+    /// here the retry budget below it is already spent.
+    Pipeline {
+        /// The stage that failed (for example `"writeback-drain"`).
+        stage: String,
+        /// Root-cause description.
+        reason: String,
+    },
 }
 
 impl StorageError {
@@ -84,6 +104,29 @@ impl StorageError {
     pub fn checkpoint(reason: impl Into<String>) -> Self {
         StorageError::Checkpoint {
             reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for transient failures.
+    pub fn transient(reason: impl Into<String>) -> Self {
+        StorageError::Transient {
+            reason: reason.into(),
+        }
+    }
+
+    /// Whether this error is safe to retry. The retry layer in [`retry`]
+    /// only re-attempts operations whose error is transient; everything else
+    /// surfaces immediately as permanent.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Transient { .. } => true,
+            StorageError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            _ => false,
         }
     }
 }
@@ -95,6 +138,10 @@ impl std::fmt::Display for StorageError {
             StorageError::NotResident { reason } => write!(f, "not resident: {reason}"),
             StorageError::InvalidPlan { reason } => write!(f, "invalid plan: {reason}"),
             StorageError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
+            StorageError::Transient { reason } => write!(f, "transient io error: {reason}"),
+            StorageError::Pipeline { stage, reason } => {
+                write!(f, "pipeline stage '{stage}' failed: {reason}")
+            }
         }
     }
 }
@@ -126,5 +173,27 @@ mod tests {
         assert!(format!("{e}").contains("capacity"));
         let e: StorageError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(format!("{e}").contains("gone"));
+        let e = StorageError::transient("blip");
+        assert!(format!("{e}").contains("blip"));
+        let e = StorageError::Pipeline {
+            stage: "compute".into(),
+            reason: "boom".into(),
+        };
+        assert!(format!("{e}").contains("compute") && format!("{e}").contains("boom"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(StorageError::transient("blip").is_transient());
+        let e: StorageError = std::io::Error::new(std::io::ErrorKind::Interrupted, "eintr").into();
+        assert!(e.is_transient());
+        let e: StorageError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(!e.is_transient());
+        assert!(!StorageError::checkpoint("bad").is_transient());
+        let e = StorageError::Pipeline {
+            stage: "compute".into(),
+            reason: "boom".into(),
+        };
+        assert!(!e.is_transient());
     }
 }

@@ -1,0 +1,215 @@
+//! Bounded exponential-backoff retry for transient storage faults.
+//!
+//! The retry layer sits *inside* [`crate::disk::PartitionStore`], underneath
+//! the pipeline and the trainer: a retried operation looks exactly like a slow
+//! successful operation to every caller, so retries can never perturb RNG
+//! streams, batch order, or any other input to the loss trajectory. See
+//! [`crate::fault`] for the full fault model and the transient/permanent
+//! error taxonomy.
+//!
+//! A [`RetryPolicy`] describes the budget (`max_retries`) and the backoff
+//! curve (`base_delay` doubling per attempt, capped at `max_delay`, scaled by
+//! a deterministic jitter factor in `[0.5, 1.0]` derived from `jitter_seed`
+//! and the operation key). Everything is a pure function of the policy and
+//! the per-operation seed: replaying a schedule replays the exact delays.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::fault::{fnv1a, splitmix64};
+use crate::{Result, StorageError};
+
+/// A bounded, deterministic exponential-backoff retry policy.
+///
+/// Only errors classified as transient by [`StorageError::is_transient`] are
+/// retried; permanent errors surface immediately. When the budget is
+/// exhausted the last transient error is returned with the budget noted in
+/// its reason, so the caller sees a single typed error rather than a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of retries after the first attempt (a budget of `n`
+    /// allows `n + 1` attempts in total).
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles on each subsequent retry.
+    pub base_delay: Duration,
+    /// Upper bound applied to the exponential curve before jitter.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter factor.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// The default policy for transient device faults: 4 retries, 200 µs
+    /// base delay, 10 ms cap. Suited to the injected-fault regimes in
+    /// [`crate::fault`]; a real EBS deployment would raise the delays.
+    pub fn default_transient() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_micros(200),
+            max_delay: Duration::from_millis(10),
+            jitter_seed: 0x1005_eed5,
+        }
+    }
+
+    /// A policy that never retries (transient errors surface immediately).
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Derives the per-operation jitter seed for a stable operation key
+    /// (for example `"partition/3"`).
+    pub fn op_seed(&self, key: &str) -> u64 {
+        self.jitter_seed ^ fnv1a(key.as_bytes())
+    }
+
+    /// The backoff delay before retry number `attempt` (1-based) of the
+    /// operation identified by `op_seed`. Deterministic: the same policy,
+    /// seed, and attempt always produce the same delay.
+    pub fn delay(&self, op_seed: u64, attempt: u32) -> Duration {
+        if attempt == 0 || self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.max_delay);
+        // Jitter factor in [0.5, 1.0]: enough spread to de-synchronize
+        // concurrent retries without ever shrinking the delay to zero.
+        let unit = (splitmix64(op_seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            >> 11) as f64
+            / (1u64 << 53) as f64;
+        exp.mul_f64(0.5 + 0.5 * unit)
+    }
+
+    /// An upper bound on the total time spent sleeping across a full retry
+    /// budget for one operation (jitter factors are at most 1).
+    pub fn max_total_delay(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for attempt in 1..=self.max_retries {
+            let exp = self
+                .base_delay
+                .saturating_mul(1u32 << (attempt - 1).min(16))
+                .min(self.max_delay);
+            total = total.saturating_add(exp);
+        }
+        total
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::default_transient()
+    }
+}
+
+/// Runs `op`, retrying transient failures under `policy`.
+///
+/// Each retry sleeps for the deterministic backoff delay and increments
+/// `retries` (the store's `io_retries` counter). Permanent errors and
+/// budget exhaustion return immediately; the exhausted error keeps its
+/// transient classification but notes the spent budget in its message.
+pub fn with_retry<T>(
+    policy: &RetryPolicy,
+    op_seed: u64,
+    retries: &AtomicU64,
+    mut op: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                attempt += 1;
+                retries.fetch_add(1, Ordering::Relaxed);
+                let delay = policy.delay(op_seed, attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+            Err(e) if e.is_transient() && policy.max_retries > 0 => {
+                return Err(StorageError::Transient {
+                    reason: format!("{e} (retry budget of {} exhausted)", policy.max_retries),
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_errors_are_retried_until_success() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter_seed: 1,
+        };
+        let retries = AtomicU64::new(0);
+        let mut failures_left = 2;
+        let out = with_retry(&policy, 7, &retries, || {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(StorageError::transient("flaky"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(retries.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let policy = RetryPolicy::default_transient();
+        let retries = AtomicU64::new(0);
+        let out: Result<()> = with_retry(&policy, 7, &retries, || {
+            Err(StorageError::InvalidPlan {
+                reason: "bad".into(),
+            })
+        });
+        assert!(matches!(out, Err(StorageError::InvalidPlan { .. })));
+        assert_eq!(retries.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn exhausted_budget_reports_the_budget() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter_seed: 1,
+        };
+        let retries = AtomicU64::new(0);
+        let out: Result<()> = with_retry(&policy, 9, &retries, || {
+            Err(StorageError::transient("still down"))
+        });
+        match out {
+            Err(StorageError::Transient { reason }) => {
+                assert!(reason.contains("budget of 2 exhausted"), "{reason}");
+            }
+            other => panic!("expected transient exhaustion, got {other:?}"),
+        }
+        assert_eq!(retries.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn delays_are_deterministic_and_capped() {
+        let policy = RetryPolicy::default_transient();
+        for attempt in 1..=policy.max_retries {
+            let d = policy.delay(123, attempt);
+            assert_eq!(d, policy.delay(123, attempt));
+            assert!(d <= policy.max_delay);
+            assert!(!d.is_zero());
+        }
+        assert_eq!(policy.delay(123, 0), Duration::ZERO);
+    }
+}

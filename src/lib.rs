@@ -66,6 +66,44 @@
 //! See `marius_core::checkpoint` for the on-disk layout (manifest schema,
 //! blob format, versioning rules).
 //!
+//! # Fault tolerance
+//!
+//! The storage layer injects deterministic faults ([`storage::IoFaultPlan`]),
+//! retries transient failures with bounded exponential backoff
+//! ([`storage::RetryPolicy`]), and supervises every pipeline stage, so a
+//! flaky disk costs retries, never correctness: a run whose transient faults
+//! are all absorbed by the retry layer is **bit-identical** to the fault-free
+//! run (faults and retries live entirely inside the store, outside every RNG
+//! stream). Faults that outlast the retry budget surface as typed
+//! [`StorageError::Pipeline`] errors after an orderly pipeline shutdown, and
+//! [`Session::train_with_recovery`] turns those into automatic resumes from
+//! the newest checkpoint, up to a bounded restart budget:
+//!
+//! ```no_run
+//! use marius::graph::datasets::{DatasetSpec, ScaledDataset};
+//! use marius::storage::IoFaultPlan;
+//! use marius::{ModelConfig, Session, Storage, TrainConfig};
+//!
+//! # fn main() -> marius::Result<()> {
+//! let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.05), 42);
+//! let mut session = Session::builder()
+//!     .dataset(data)
+//!     .model(ModelConfig::paper_distmult(32))
+//!     .train(TrainConfig::quick(4, 42))
+//!     .storage(Storage::Disk(marius::DiskConfig::comet(16, 4)))
+//!     .fault_plan(IoFaultPlan::flaky(7)) // chaos testing; omit on real devices
+//!     .checkpoint_to("run/checkpoints", 1)
+//!     .build()?;
+//! // Transient faults retry invisibly; anything worse auto-resumes from the
+//! // newest checkpoint, at most 3 times.
+//! let report = session.train_with_recovery(3)?;
+//! # let _ = report;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `marius_storage::fault` for the fault model and error taxonomy.
+//!
 //! # Workspace map
 //!
 //! * [`tensor`] / [`gnn`] — dense kernels, layers, decoders, optimizers.
@@ -96,11 +134,14 @@ pub use marius_core::{
 };
 #[allow(deprecated)]
 pub use marius_core::{LinkPredictionTrainer, NodeClassificationTrainer};
-pub use marius_storage::{IoCostModel, Result, StorageError};
+pub use marius_storage::{
+    FaultInjector, IoCostModel, IoFaultPlan, Result, RetryPolicy, StorageError,
+};
 
 use marius_core::StorageKind;
 use marius_graph::datasets::ScaledDataset;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Where base representations live during training.
 #[derive(Debug, Clone)]
@@ -121,6 +162,8 @@ pub struct SessionBuilder<T: Task = LinkPredictionTask> {
     storage: Storage,
     pipeline: PipelineConfig,
     emulated_device: Option<IoCostModel>,
+    faults: Option<Arc<FaultInjector>>,
+    retry: Option<RetryPolicy>,
     eval_every: usize,
     epoch_hook: Option<EpochHook>,
     checkpoint: Option<(usize, PathBuf)>,
@@ -143,6 +186,8 @@ impl<T: Task> SessionBuilder<T> {
             storage: Storage::InMemory,
             pipeline: PipelineConfig::disabled(),
             emulated_device: None,
+            faults: None,
+            retry: None,
             eval_every: 1,
             epoch_hook: None,
             checkpoint: None,
@@ -160,6 +205,8 @@ impl<T: Task> SessionBuilder<T> {
             storage: self.storage,
             pipeline: self.pipeline,
             emulated_device: self.emulated_device,
+            faults: self.faults,
+            retry: self.retry,
             eval_every: self.eval_every,
             epoch_hook: self.epoch_hook,
             checkpoint: self.checkpoint,
@@ -200,6 +247,29 @@ impl<T: Task> SessionBuilder<T> {
     /// local filesystem (see `PartitionStore::with_emulated_device`).
     pub fn emulated_device(mut self, model: IoCostModel) -> Self {
         self.emulated_device = Some(model);
+        self
+    }
+
+    /// Arms a deterministic IO fault plan on the run's partition store (chaos
+    /// testing): disk training and checkpoint placement then experience the
+    /// plan's seeded schedule of transient failures, torn writes and latency
+    /// spikes. Faults absorbed by the retry layer leave the loss trajectory
+    /// bit-identical to a fault-free run. See `marius_storage::fault`.
+    pub fn fault_plan(self, plan: IoFaultPlan) -> Self {
+        self.fault_injector(plan.build())
+    }
+
+    /// Attaches an existing fault injector (shared, so callers can read its
+    /// counters or arm outage/permanent windows mid-run).
+    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// Overrides the bounded-exponential-backoff policy the store applies to
+    /// transient IO failures ([`RetryPolicy::default_transient`] otherwise).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
         self
     }
 
@@ -262,10 +332,17 @@ impl<T: Task> SessionBuilder<T> {
         if let Some(io) = self.emulated_device {
             trainer = trainer.with_emulated_device(io);
         }
+        if let Some(injector) = self.faults {
+            trainer = trainer.with_fault_injector(injector);
+        }
+        if let Some(policy) = self.retry {
+            trainer = trainer.with_retry_policy(policy);
+        }
         // Checkpointing lives inside the trainer (it owns the model and the
         // store at epoch boundaries); the user hook rides along unchanged,
         // and any hook failure propagates as the run's StorageError instead
         // of panicking through a poisoned accumulator.
+        let checkpoint_dir = self.checkpoint.as_ref().map(|(_, path)| path.clone());
         if let Some((every, path)) = self.checkpoint {
             trainer = trainer.with_checkpoint(path, every);
         }
@@ -277,6 +354,8 @@ impl<T: Task> SessionBuilder<T> {
             trainer,
             data,
             storage: self.storage,
+            retry: self.retry,
+            checkpoint_dir,
             last_report: None,
         })
     }
@@ -288,6 +367,11 @@ pub struct Session<T: Task> {
     trainer: Trainer<T>,
     data: ScaledDataset,
     storage: Storage,
+    /// Retry-policy override, carried so recovery resumes re-apply it.
+    retry: Option<RetryPolicy>,
+    /// Checkpoint root, when the session checkpoints — the anchor
+    /// [`Session::train_with_recovery`] resumes from.
+    checkpoint_dir: Option<PathBuf>,
     last_report: Option<ExperimentReport>,
 }
 
@@ -314,7 +398,7 @@ impl<T: Task + Default> Session<T> {
     /// resuming a node-classification checkpoint requires
     /// `Session::<NodeClassificationTask>::resume_from`.
     pub fn resume_from(path: impl AsRef<Path>) -> Result<Session<T>> {
-        Self::resume(path, None)
+        Self::resume(path, None, None, None)
     }
 
     /// Like [`Session::resume_from`], but raises the run's total epoch target
@@ -322,10 +406,67 @@ impl<T: Task + Default> Session<T> {
     /// "2 epochs done, train to 4" when the interrupted run had a shorter
     /// target. `epochs` below the checkpointed progress is rejected.
     pub fn resume_from_until(path: impl AsRef<Path>, epochs: usize) -> Result<Session<T>> {
-        Self::resume(path, Some(epochs))
+        Self::resume(path, Some(epochs), None, None)
     }
 
-    fn resume(path: impl AsRef<Path>, epochs: Option<usize>) -> Result<Session<T>> {
+    /// Trains to completion, automatically resuming from the newest
+    /// checkpoint when a run fails, up to `max_restarts` times. The session
+    /// must checkpoint ([`SessionBuilder::checkpoint_to`]); each recovery
+    /// re-opens the checkpoint directory, rebuilds the run bit-exactly
+    /// ([`Session::resume_from_until`] semantics, keeping this session's
+    /// fault injector and retry policy attached), and continues. A resume
+    /// that itself fails (the device still down during the restore) consumes
+    /// restart budget and is retried like any other failure. When the budget
+    /// is exhausted the last failure surfaces unchanged.
+    ///
+    /// The returned report's [`EpochReport::recoveries`] field records, per
+    /// epoch, how many recoveries preceded it. Epoch hooks do not survive a
+    /// recovery (closures cannot be rebuilt from a manifest); epochs trained
+    /// after the first restart run without the hook.
+    pub fn train_with_recovery(&mut self, max_restarts: usize) -> Result<ExperimentReport> {
+        let Some(dir) = self.checkpoint_dir.clone() else {
+            return Err(StorageError::InvalidPlan {
+                reason: "train_with_recovery requires a checkpoint directory \
+                         (SessionBuilder::checkpoint_to)"
+                    .into(),
+            });
+        };
+        let target_epochs = self.trainer.train.epochs;
+        let faults = self.trainer.fault_injector().cloned();
+        // Epoch indices at which a recovery successfully resumed, for the
+        // report stamp; `attempts` also counts resumes that failed before
+        // training restarted (a device still down during the restore), so
+        // the budget bounds every kind of restart.
+        let mut resumed_at: Vec<usize> = Vec::new();
+        let mut attempts = 0usize;
+        let mut outcome = self.train();
+        while let Err(err) = outcome {
+            if attempts >= max_restarts {
+                return Err(err);
+            }
+            attempts += 1;
+            match Session::<T>::resume(&dir, Some(target_epochs), faults.clone(), self.retry) {
+                Ok(mut next) => {
+                    resumed_at.push(next.trainer.resume_start_epoch().unwrap_or(0));
+                    outcome = next.train();
+                }
+                Err(e) => outcome = Err(e),
+            }
+        }
+        let mut report = outcome?;
+        for epoch in &mut report.epochs {
+            epoch.recoveries = resumed_at.iter().filter(|&&at| at <= epoch.epoch).count();
+        }
+        self.last_report = Some(report.clone());
+        Ok(report)
+    }
+
+    fn resume(
+        path: impl AsRef<Path>,
+        epochs: Option<usize>,
+        faults: Option<Arc<FaultInjector>>,
+        retry: Option<RetryPolicy>,
+    ) -> Result<Session<T>> {
         let path = path.as_ref();
         let ckpt = Checkpoint::open(path)?;
         let task = T::default();
@@ -360,10 +501,18 @@ impl<T: Task + Default> Session<T> {
         if let Some(io) = ckpt.emulated_device {
             trainer = trainer.with_emulated_device(io);
         }
+        if let Some(injector) = faults {
+            trainer = trainer.with_fault_injector(injector);
+        }
+        if let Some(policy) = retry {
+            trainer = trainer.with_retry_policy(policy);
+        }
         Ok(Session {
             trainer,
             data,
             storage,
+            retry,
+            checkpoint_dir: Some(path.to_path_buf()),
             last_report: None,
         })
     }
