@@ -11,13 +11,14 @@
 //! Set `MARIUS_BENCH_SMOKE=1` to run a tiny configuration (CI smoke job that
 //! uploads `BENCH_fig_pipeline_overlap.json` as a perf-trajectory artifact).
 
-use marius_bench::{header, seconds, write_bench_json};
+use marius_bench::{header, seconds, write_bench_json, write_telemetry_artifacts};
 use marius_core::{
     DiskConfig, ExperimentReport, LinkPredictionTask, ModelConfig, PipelineConfig, TrainConfig,
     Trainer,
 };
 use marius_graph::datasets::{DatasetSpec, ScaledDataset};
 use marius_storage::IoCostModel;
+use marius_telemetry::Telemetry;
 use std::time::Duration;
 
 fn smoke() -> bool {
@@ -77,7 +78,13 @@ fn main() {
         })
         .train_disk(&data, &disk)
         .expect("disk training");
+    // The fully asynchronous pipeline runs instrumented: per-stage spans and
+    // queue/buffer/retry metrics export next to the BENCH json. Telemetry
+    // reads only monotonic clocks, so the trajectory-identity check below
+    // still compares this run against the two uninstrumented ones.
+    let telemetry = Telemetry::enabled();
     let pipelined = trainer(epochs)
+        .with_telemetry(&telemetry)
         .with_pipeline(pipe_config)
         .train_disk(&data, &disk)
         .expect("disk training");
@@ -144,6 +151,7 @@ fn main() {
             ("pipelined", &pipelined),
         ],
     );
+    write_telemetry_artifacts("fig_pipeline_overlap", &telemetry);
     if smoke() {
         // The smoke config exists to record the perf trajectory in CI, where
         // the workload is too small for the ratios to be meaningful targets.

@@ -140,6 +140,32 @@ pub fn write_bench_json(name: &str, reports: &[(&str, &marius_core::ExperimentRe
     }
 }
 
+/// Writes the telemetry artifacts of an instrumented harness run next to its
+/// `BENCH_<name>.json`: `TRACE_<name>.json` (Chrome `trace_event` JSON,
+/// loadable in `chrome://tracing` or Perfetto) and `METRICS_<name>.json` (the
+/// aggregated counter/gauge/histogram snapshot). A disabled handle writes
+/// nothing; IO failures are reported on stderr but never abort the harness.
+pub fn write_telemetry_artifacts(name: &str, telemetry: &marius_telemetry::Telemetry) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    for (path, result) in [
+        (
+            format!("TRACE_{name}.json"),
+            telemetry.write_chrome_trace(format!("TRACE_{name}.json")),
+        ),
+        (
+            format!("METRICS_{name}.json"),
+            telemetry.write_metrics_json(format!("METRICS_{name}.json")),
+        ),
+    ] {
+        match result {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

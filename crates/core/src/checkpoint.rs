@@ -92,7 +92,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-mod json;
+pub mod json;
 use json::Json;
 
 /// Format identifier stamped into every manifest.
@@ -868,7 +868,9 @@ fn epoch_to_json(e: &EpochReport) -> String {
          \"io_time_ns\":{},\"io_wait_time_ns\":{},\"stall_time_ns\":{},\
          \"writeback_time_ns\":{},\"io_bytes_read\":{},\"io_bytes_written\":{},\
          \"partition_loads\":{},\"examples\":{},\"nodes_sampled\":{},\"edges_sampled\":{},\
-         \"io_retries\":{},\"faults_injected\":{},\"recoveries\":{}}}",
+         \"io_retries\":{},\"faults_injected\":{},\"recoveries\":{},\
+         \"buffer_hits\":{},\"buffer_misses\":{},\"buffer_evictions\":{},\
+         \"throttle_wait_time_ns\":{}}}",
         e.epoch,
         e.loss.to_bits(),
         e.metric.to_bits(),
@@ -889,6 +891,10 @@ fn epoch_to_json(e: &EpochReport) -> String {
         e.io_retries,
         e.faults_injected,
         e.recoveries,
+        e.buffer_hits,
+        e.buffer_misses,
+        e.buffer_evictions,
+        e.throttle_wait_time.as_nanos(),
     )
 }
 
@@ -917,6 +923,11 @@ fn epoch_from_json(j: &Json) -> Result<EpochReport> {
         io_retries: j.u64_field("io_retries").unwrap_or(0),
         faults_injected: j.u64_field("faults_injected").unwrap_or(0),
         recoveries: j.u64_field("recoveries").unwrap_or(0) as usize,
+        // Buffer/throttle observability fields likewise postdate version 1.
+        buffer_hits: j.u64_field("buffer_hits").unwrap_or(0),
+        buffer_misses: j.u64_field("buffer_misses").unwrap_or(0),
+        buffer_evictions: j.u64_field("buffer_evictions").unwrap_or(0),
+        throttle_wait_time: Duration::from_nanos(j.u64_field("throttle_wait_time_ns").unwrap_or(0)),
     })
 }
 

@@ -11,21 +11,11 @@ use std::time::Duration;
 
 /// Escapes a string for embedding inside a JSON string literal (quotes,
 /// backslashes and control characters). Shared by [`ExperimentReport::to_json`]
-/// and the benchmark harnesses' `BENCH_*.json` writer.
+/// and the benchmark harnesses' `BENCH_*.json` writer. Delegates to the
+/// workspace-wide helper in [`marius_telemetry::json`], so report JSON and the
+/// telemetry exporters (`metrics.json`, Chrome traces) share one encoding.
 pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    marius_telemetry::json::escape(s)
 }
 
 /// Per-epoch measurements.
@@ -89,6 +79,20 @@ pub struct EpochReport {
     /// Number of checkpoint-resume recoveries that preceded this epoch in a
     /// `train_with_recovery` run; zero on an uninterrupted run.
     pub recoveries: usize,
+    /// Disk runs only: partitions the buffer found already resident during
+    /// this epoch's swaps (no disk read needed).
+    pub buffer_hits: u64,
+    /// Disk runs only: partitions the buffer had to load from the store
+    /// during this epoch's swaps. Mirrors `partition_loads` through the
+    /// buffer's own accounting.
+    pub buffer_misses: u64,
+    /// Disk runs only: partitions evicted from the buffer during the epoch
+    /// (written back inline or detached to the write-back drain when dirty).
+    pub buffer_evictions: u64,
+    /// Emulated-device runs only: time IO operations spent queued behind the
+    /// device's single-lane reservation before their transfer began. Zero on
+    /// real (non-emulated) devices.
+    pub throttle_wait_time: Duration,
 }
 
 /// A complete experiment run: configuration label plus per-epoch reports.
@@ -165,13 +169,7 @@ impl ExperimentReport {
     /// markers that keep the types compatible with the real crate.
     pub fn to_json(&self) -> String {
         let esc = json_escape;
-        fn num(v: f64) -> String {
-            if v.is_finite() {
-                format!("{v}")
-            } else {
-                "null".into()
-            }
-        }
+        let num = marius_telemetry::json::num;
         let mut out = String::new();
         out.push_str(&format!(
             "{{\"system\":\"{}\",\"dataset\":\"{}\",\"final_metric\":{},\"best_metric\":{},\
@@ -194,7 +192,9 @@ impl ExperimentReport {
                  \"overlap\":{},\
                  \"io_bytes_read\":{},\"io_bytes_written\":{},\"partition_loads\":{},\
                  \"examples\":{},\"nodes_sampled\":{},\"edges_sampled\":{},\
-                 \"io_retries\":{},\"faults_injected\":{},\"recoveries\":{}}}",
+                 \"io_retries\":{},\"faults_injected\":{},\"recoveries\":{},\
+                 \"buffer_hits\":{},\"buffer_misses\":{},\"buffer_evictions\":{},\
+                 \"throttle_wait_time_s\":{}}}",
                 e.epoch,
                 num(e.loss),
                 num(e.metric),
@@ -215,6 +215,10 @@ impl ExperimentReport {
                 e.io_retries,
                 e.faults_injected,
                 e.recoveries,
+                e.buffer_hits,
+                e.buffer_misses,
+                e.buffer_evictions,
+                num(e.throttle_wait_time.as_secs_f64()),
             ));
         }
         out.push_str("]}");
@@ -311,6 +315,10 @@ mod tests {
         assert!(json.contains("\"io_retries\":0"));
         assert!(json.contains("\"faults_injected\":0"));
         assert!(json.contains("\"recoveries\":0"));
+        assert!(json.contains("\"buffer_hits\":0"));
+        assert!(json.contains("\"buffer_misses\":0"));
+        assert!(json.contains("\"buffer_evictions\":0"));
+        assert!(json.contains("\"throttle_wait_time_s\":0"));
         assert_eq!(json.matches("\"epoch\":").count(), 2);
     }
 

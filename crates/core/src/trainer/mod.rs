@@ -48,6 +48,7 @@ use marius_pipeline::{step_seed, writeback_safe_point, Pipeline};
 use marius_storage::{
     FaultInjector, IoCostModel, IoFaultPlan, PartitionStore, Result, RetryPolicy, StorageError,
 };
+use marius_telemetry::{Telemetry, NO_LABEL};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -149,6 +150,10 @@ pub struct Trainer<T: Task> {
     /// fresh: construction replays deterministically, then the saved state and
     /// RNG cursor are overlaid.
     resume: Option<ResumeState>,
+    /// Telemetry recorder cloned into every layer of the run (pipeline
+    /// stages, partition store/buffer, the epoch loop). Disabled (zero
+    /// overhead) by default.
+    telemetry: Telemetry,
 }
 
 impl<T: Task + Default> Trainer<T> {
@@ -175,6 +180,7 @@ impl<T: Task> Trainer<T> {
             retry: RetryPolicy::default_transient(),
             checkpoint: None,
             resume: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -182,6 +188,21 @@ impl<T: Task> Trainer<T> {
     pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
         self.pipeline = pipeline;
         self
+    }
+
+    /// Attaches a telemetry recorder to the run: the epoch loop, checkpoint
+    /// writes, the staged pipeline's stage threads and queues, and the
+    /// partition store/buffer all record spans and metrics into it. Recording
+    /// never consumes randomness, so trajectories are bit-identical with
+    /// telemetry on or off. A disabled handle (the default) costs nothing.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// The telemetry recorder attached to this trainer (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Runs disk training against an emulated `model` device instead of the
@@ -315,6 +336,30 @@ impl<T: Task> Trainer<T> {
         Ok(())
     }
 
+    /// Mirrors one finalized [`EpochReport`] into `trainer.*` counters, so
+    /// `metrics.json` aggregates agree with the summed report fields exactly.
+    fn mirror_epoch(&self, epoch: &EpochReport) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let t = &self.telemetry;
+        t.counter("trainer.epochs").incr();
+        t.counter("trainer.examples").add(epoch.examples as u64);
+        t.counter("trainer.epoch_time_ns")
+            .add_duration(epoch.epoch_time);
+        t.counter("trainer.io_wait_ns")
+            .add_duration(epoch.io_wait_time);
+        t.counter("trainer.stall_ns").add_duration(epoch.stall_time);
+        t.counter("trainer.writeback_ns")
+            .add_duration(epoch.writeback_time);
+        t.counter("trainer.throttle_wait_ns")
+            .add_duration(epoch.throttle_wait_time);
+        t.counter("trainer.buffer_hits").add(epoch.buffer_hits);
+        t.counter("trainer.buffer_misses").add(epoch.buffer_misses);
+        t.counter("trainer.buffer_evictions")
+            .add(epoch.buffer_evictions);
+    }
+
     /// The one generic checkpoint code path both executors funnel through:
     /// assembles the manifest payload and writes a versioned checkpoint.
     /// `state` carries the task's model blobs plus any executor-specific
@@ -381,10 +426,13 @@ impl<T: Task> Trainer<T> {
         let mut order: Vec<u64> = (0..examples.len() as u64).collect();
         let mut permuted: Vec<T::Example> = Vec::with_capacity(examples.len());
 
+        let mut span = self.telemetry.scope("trainer");
+
         // Resuming: construction above replayed the fresh run's RNG draws;
         // now overlay the checkpointed state and jump to its epoch.
         let mut start_epoch = 0usize;
         if let Some(resume) = &self.resume {
+            span.begin("resume.load", NO_LABEL, NO_LABEL);
             self.task.load_state(&mut model, &resume.state)?;
             source.load_state(&resume.state)?;
             let saved_order = resume.state.require_u64(EXAMPLE_ORDER_BLOB)?;
@@ -399,6 +447,7 @@ impl<T: Task> Trainer<T> {
             rng = StdRng::from_raw_state(resume.rng_state);
             start_epoch = resume.start_epoch;
             report.epochs = resume.prior_epochs.clone();
+            span.end();
         }
 
         for epoch_idx in start_epoch..self.train.epochs {
@@ -406,6 +455,8 @@ impl<T: Task> Trainer<T> {
                 epoch: epoch_idx,
                 ..Default::default()
             };
+            span.begin("epoch", epoch_idx as i64, NO_LABEL);
+            span.begin("epoch.train", epoch_idx as i64, NO_LABEL);
             let start = Instant::now();
             order.shuffle(&mut rng);
             permuted.clear();
@@ -423,23 +474,28 @@ impl<T: Task> Trainer<T> {
                 accumulate(&mut epoch, &stats);
             }
             epoch.epoch_time = start.elapsed();
+            span.end(); // epoch.train
             let pre_eval_rng = rng.state();
             epoch.metric = if self.should_evaluate(epoch_idx) {
-                self.task.evaluate(
-                    &model,
-                    source.as_ref(),
-                    &eval_ctx,
-                    data,
-                    &self.train,
-                    &mut rng,
-                )
+                span.timed("epoch.eval", epoch_idx as i64, NO_LABEL, || {
+                    self.task.evaluate(
+                        &model,
+                        source.as_ref(),
+                        &eval_ctx,
+                        data,
+                        &self.train,
+                        &mut rng,
+                    )
+                })
             } else {
                 f64::NAN
             };
             finalize(&mut epoch);
+            self.mirror_epoch(&epoch);
             report.epochs.push(epoch);
             self.epoch_done(&report)?;
             if self.should_checkpoint(epoch_idx) {
+                span.begin("epoch.checkpoint", epoch_idx as i64, NO_LABEL);
                 let mut state = StateDict::new();
                 self.task.save_state(&model, &mut state);
                 source.save_state(&mut state);
@@ -453,7 +509,9 @@ impl<T: Task> Trainer<T> {
                     None,
                     &report,
                 )?;
+                span.end();
             }
+            span.end(); // epoch
         }
         Ok(report)
     }
@@ -604,23 +662,28 @@ impl<T: Task> Trainer<T> {
             Some(injector) => store.with_fault_injector(Arc::clone(injector)),
             None => store,
         };
-        let store = store.with_retry_policy(self.retry);
+        let store = store
+            .with_retry_policy(self.retry)
+            .with_telemetry(&self.telemetry);
         store.clear()?;
         let mut setup = self
             .task
             .disk_setup(&self.model, data, disk, store, &mut rng)?;
+        setup.buffer.attach_telemetry(&self.telemetry);
         let mut model = self
             .task
             .build_model(&self.model, &self.train, data, &mut rng)?;
         let pipeline = self
             .pipeline
             .enabled
-            .then(|| Pipeline::new(self.pipeline.clone()));
+            .then(|| Pipeline::new(self.pipeline.clone()).with_telemetry(&self.telemetry));
         let eval_ctx = self.task.eval_context(data);
         // Non-writeback buffers hold fixed representations that never change
         // on disk, so their evaluation source is built once; learnable ones
         // are reassembled from disk after each epoch's flush.
         let mut static_eval_source: Option<Box<dyn crate::source::RepresentationSource>> = None;
+
+        let mut span = self.telemetry.scope("trainer");
 
         // Resuming: disk_setup/build_model above replayed the fresh run's RNG
         // draws (reproducing the partition assignment the snapshot's files
@@ -628,6 +691,7 @@ impl<T: Task> Trainer<T> {
         // model state, restore the RNG cursor, and jump to the saved epoch.
         let mut start_epoch = 0usize;
         if let Some(resume) = &self.resume {
+            span.begin("resume.load", NO_LABEL, NO_LABEL);
             if let Some(snapshot) = &resume.store_snapshot {
                 setup.store.restore_from(snapshot)?;
             }
@@ -635,6 +699,7 @@ impl<T: Task> Trainer<T> {
             rng = StdRng::from_raw_state(resume.rng_state);
             start_epoch = resume.start_epoch;
             report.epochs = resume.prior_epochs.clone();
+            span.end();
         }
 
         for epoch_idx in start_epoch..self.train.epochs {
@@ -643,6 +708,9 @@ impl<T: Task> Trainer<T> {
                 ..Default::default()
             };
             setup.store.reset_io_stats();
+            setup.buffer.reset_stats();
+            span.begin("epoch", epoch_idx as i64, NO_LABEL);
+            span.begin("epoch.train", epoch_idx as i64, NO_LABEL);
             let start = Instant::now();
             let plan = self.task.epoch_plan(disk, &setup, &mut rng)?;
             // Every random draw inside the epoch derives from this seed (per
@@ -657,8 +725,11 @@ impl<T: Task> Trainer<T> {
                     data, &plan, &mut setup, epoch_seed, &mut model, &mut epoch,
                 )?,
             }
+            span.end(); // epoch.train
             if setup.writeback {
-                setup.buffer.flush()?;
+                span.timed("epoch.flush", epoch_idx as i64, NO_LABEL, || {
+                    setup.buffer.flush()
+                })?;
             }
             epoch.epoch_time = start.elapsed();
 
@@ -668,9 +739,15 @@ impl<T: Task> Trainer<T> {
             epoch.io_time = self.io_model.stats_time(&io);
             epoch.io_retries = io.io_retries;
             epoch.faults_injected = io.faults_injected;
+            epoch.throttle_wait_time = io.throttle_wait;
+            let buffer_stats = setup.buffer.stats();
+            epoch.buffer_hits = buffer_stats.hits;
+            epoch.buffer_misses = buffer_stats.misses;
+            epoch.buffer_evictions = buffer_stats.evictions;
 
             let pre_eval_rng = rng.state();
             epoch.metric = if self.should_evaluate(epoch_idx) {
+                span.begin("epoch.eval", epoch_idx as i64, NO_LABEL);
                 let fresh_eval_source;
                 let eval_source: &dyn crate::source::RepresentationSource = if setup.writeback {
                     fresh_eval_source = self.task.disk_eval_source(&self.model, data, &setup)?;
@@ -682,15 +759,20 @@ impl<T: Task> Trainer<T> {
                     }
                     static_eval_source.as_deref().expect("populated above")
                 };
-                self.task
-                    .evaluate(&model, eval_source, &eval_ctx, data, &self.train, &mut rng)
+                let metric =
+                    self.task
+                        .evaluate(&model, eval_source, &eval_ctx, data, &self.train, &mut rng);
+                span.end();
+                metric
             } else {
                 f64::NAN
             };
             finalize(&mut epoch);
+            self.mirror_epoch(&epoch);
             report.epochs.push(epoch);
             self.epoch_done(&report)?;
             if self.should_checkpoint(epoch_idx) {
+                span.begin("epoch.checkpoint", epoch_idx as i64, NO_LABEL);
                 // The post-epoch flush above already drained the write-back
                 // ledger; assert the safe point all the same before linking
                 // the store's files into the snapshot (a partition with a
@@ -707,7 +789,9 @@ impl<T: Task> Trainer<T> {
                     setup.writeback.then_some(&setup.store),
                     &report,
                 )?;
+                span.end();
             }
+            span.end(); // epoch
         }
         let _ = setup.store.clear();
         Ok(report)

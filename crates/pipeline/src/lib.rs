@@ -89,6 +89,7 @@
 
 use marius_graph::{Edge, InMemorySubgraph, NodeId, PartitionId};
 use marius_storage::{EvictedPartition, PartitionBuffer, Result, StorageError};
+use marius_telemetry::{Histogram, Telemetry, NO_LABEL};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
@@ -328,6 +329,9 @@ struct BoundedQueue<T> {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// Post-push occupancy samples (a disabled no-op handle unless the
+    /// pipeline was built with telemetry).
+    depth: Histogram,
 }
 
 struct QueueState<T> {
@@ -336,7 +340,12 @@ struct QueueState<T> {
 }
 
 impl<T> BoundedQueue<T> {
+    #[cfg(test)]
     fn new(capacity: usize) -> Self {
+        Self::with_depth(capacity, Histogram::default())
+    }
+
+    fn with_depth(capacity: usize, depth: Histogram) -> Self {
         BoundedQueue {
             inner: Mutex::new(QueueState {
                 items: VecDeque::new(),
@@ -345,6 +354,7 @@ impl<T> BoundedQueue<T> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
+            depth,
         }
     }
 
@@ -363,7 +373,9 @@ impl<T> BoundedQueue<T> {
             return None;
         }
         state.items.push_back(item);
+        let occupancy = state.items.len() as u64;
         drop(state);
+        self.depth.record(occupancy);
         self.not_empty.notify_one();
         Some(start.elapsed())
     }
@@ -490,6 +502,10 @@ fn nanos(cell: &AtomicU64) -> Duration {
     Duration::from_nanos(cell.load(Ordering::Relaxed))
 }
 
+/// Occupancy buckets for the `pipeline.queue_depth.*` histograms: inclusive
+/// upper bounds, wide enough for any practical `queue_depth` configuration.
+const QUEUE_DEPTH_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64];
+
 /// Per-stage occupancy and stall counters for one pipelined epoch.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineReport {
@@ -578,12 +594,26 @@ fn plan_step_io(plan: &EpochPlan, initial_resident: &[PartitionId]) -> StepIoPla
 /// The staged training runtime. See the crate docs for the stage diagram.
 pub struct Pipeline {
     config: PipelineConfig,
+    telemetry: Telemetry,
 }
 
 impl Pipeline {
-    /// Creates a runtime with the given configuration.
+    /// Creates a runtime with the given configuration (telemetry disabled).
     pub fn new(config: PipelineConfig) -> Self {
-        Pipeline { config }
+        Pipeline {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry recorder: every stage thread records spans under
+    /// its own track, every bounded queue samples its occupancy into a
+    /// `pipeline.queue_depth.*` histogram, and `run_epoch` mirrors the
+    /// [`PipelineReport`] aggregates into `pipeline.*` counters. A disabled
+    /// handle restores the zero-overhead default.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
     }
 
     /// The runtime's configuration.
@@ -626,6 +656,7 @@ impl Pipeline {
         };
         if num_steps == 0 {
             report.wall_time = epoch_start.elapsed();
+            self.mirror_report(&report);
             return Ok(report);
         }
 
@@ -634,19 +665,35 @@ impl Pipeline {
         let store = buffer.store().clone();
         let assignment = buffer.assignment().clone();
 
+        let telemetry = &self.telemetry;
+        // Queue-occupancy histograms, sampled after every push. All workers'
+        // step (and batch) queues share one histogram by name, so the export
+        // shows the stage edge, not the individual worker lane.
+        let qd = |name: &str| telemetry.histogram(name, QUEUE_DEPTH_BOUNDS);
         let step_queues: Vec<BoundedQueue<StepIn>> = (0..workers)
-            .map(|_| BoundedQueue::new(self.config.prefetch_depth))
+            .map(|_| {
+                BoundedQueue::with_depth(
+                    self.config.prefetch_depth,
+                    qd("pipeline.queue_depth.step"),
+                )
+            })
             .collect();
         let batch_queues: Vec<BoundedQueue<StepOut<B>>> = (0..workers)
-            .map(|_| BoundedQueue::new(self.config.queue_depth))
+            .map(|_| {
+                BoundedQueue::with_depth(self.config.queue_depth, qd("pipeline.queue_depth.batch"))
+            })
             .collect();
-        let parts_queue: BoundedQueue<Result<StepParts>> =
-            BoundedQueue::new(self.config.prefetch_depth.max(1));
+        let parts_queue: BoundedQueue<Result<StepParts>> = BoundedQueue::with_depth(
+            self.config.prefetch_depth.max(1),
+            qd("pipeline.queue_depth.parts"),
+        );
         // Consumer → write-back drain: one item per step, even when the step
         // evicted nothing, so the `writeback` watermark advances in step
         // order and every re-read dependency eventually unblocks.
-        let wb_queue: BoundedQueue<(usize, Vec<EvictedPartition>)> =
-            BoundedQueue::new(self.config.writeback_depth.max(1));
+        let wb_queue: BoundedQueue<(usize, Vec<EvictedPartition>)> = BoundedQueue::with_depth(
+            self.config.writeback_depth.max(1),
+            qd("pipeline.queue_depth.writeback"),
+        );
         let ledger = buffer.writeback_ledger();
         let clock = TransitionClock::new();
         let clocks = StageClocks::default();
@@ -676,11 +723,14 @@ impl Pipeline {
                 let store = &store;
                 let assignment = &assignment;
                 scope.spawn(move || {
+                    let mut span = telemetry.scope("context-prefetch");
+                    let span = &mut span;
                     let body = || {
                         'steps: for (s, set) in plan.partition_sets.iter().enumerate() {
                             if clock.abort.load(Ordering::Relaxed) {
                                 break 'steps;
                             }
+                            span.begin("context-prefetch.step", s as i64, NO_LABEL);
                             let busy_start = Instant::now();
                             let step_in = (|| -> Result<StepIn> {
                                 // Read the buckets in the same set × set order
@@ -710,6 +760,7 @@ impl Pipeline {
                                 })
                             })();
                             add_nanos(&clocks.prefetch_busy, busy_start.elapsed());
+                            span.end();
                             match step_in {
                                 Ok(item) => match step_queues[s % workers].push(item) {
                                     Some(waited) => add_nanos(&clocks.prefetch_stall, waited),
@@ -754,6 +805,8 @@ impl Pipeline {
                 let io_plan = &io_plan;
                 let store = &store;
                 scope.spawn(move || {
+                    let mut span = telemetry.scope("partition-prefetch");
+                    let span = &mut span;
                     let body = || {
                         'steps: for s in 0..plan.partition_sets.len() {
                             if clock.abort.load(Ordering::Relaxed) {
@@ -761,24 +814,31 @@ impl Pipeline {
                             }
                             let dep = io_plan.read_after[s];
                             if dep >= 0 {
+                                span.begin("partition-prefetch.wait-writeback", s as i64, NO_LABEL);
                                 add_nanos(
                                     &clocks.prefetch_stall,
                                     clock.writeback.wait_for(dep, &clock.abort),
                                 );
+                                span.end();
                             }
                             if clock.abort.load(Ordering::Relaxed) {
                                 break 'steps;
                             }
+                            span.begin("partition-prefetch.step", s as i64, NO_LABEL);
                             let busy_start = Instant::now();
                             let parts = (|| -> Result<Vec<PartitionPayload>> {
                                 let mut new_parts = Vec::with_capacity(io_plan.loads[s].len());
                                 for &p in &io_plan.loads[s] {
-                                    let (values, state) = store.read_partition(p)?;
+                                    span.begin("partition-prefetch.read", s as i64, p as i64);
+                                    let read = store.read_partition(p);
+                                    span.end();
+                                    let (values, state) = read?;
                                     new_parts.push((p, values, state));
                                 }
                                 Ok(new_parts)
                             })();
                             add_nanos(&clocks.prefetch_busy, busy_start.elapsed());
+                            span.end();
                             let failed = parts.is_err();
                             let parts = parts
                                 .map(|p| (s, p))
@@ -818,6 +878,8 @@ impl Pipeline {
                 let store = &store;
                 let ledger = Arc::clone(&ledger);
                 scope.spawn(move || -> Result<()> {
+                    let mut span = telemetry.scope("writeback-drain");
+                    let span = &mut span;
                     let body = || -> Option<StorageError> {
                         let mut first_err: Option<StorageError> = None;
                         while let Some(((step, evicted), waited)) = wb_queue.pop() {
@@ -827,9 +889,11 @@ impl Pipeline {
                             // enforces) that the drain never runs ahead of the
                             // swap that detached its generation.
                             clock.swap.wait_for(step as i64, &clock.abort);
+                            span.begin("writeback.step", step as i64, NO_LABEL);
                             let busy_start = Instant::now();
                             for part in &evicted {
                                 if first_err.is_none() {
+                                    span.begin("writeback.write", step as i64, part.id as i64);
                                     match store.write_partition(part.id, &part.values, &part.state)
                                     {
                                         Ok(()) => {
@@ -840,10 +904,12 @@ impl Pipeline {
                                             clock.abort();
                                         }
                                     }
+                                    span.end();
                                 }
                                 ledger.mark_drained(part.id);
                             }
                             add_nanos(&clocks.writeback_busy, busy_start.elapsed());
+                            span.end();
                             clock.writeback.publish(step as i64);
                         }
                         first_err
@@ -883,7 +949,10 @@ impl Pipeline {
                 let out_q = &batch_queues[w];
                 let clocks = &clocks;
                 let make_batches = &make_batches;
+                let worker_label = format!("batch-worker-{w}");
                 worker_handles.push(scope.spawn(move || {
+                    let mut span = telemetry.scope(&worker_label);
+                    let span = &mut span;
                     let body = || {
                         while let Some((step_in, waited)) = in_q.pop() {
                             add_nanos(&clocks.sample_stall, waited);
@@ -899,6 +968,7 @@ impl Pipeline {
                             }
                             let mut rng =
                                 StdRng::seed_from_u64(step_seed(epoch_seed, ctx.step as u64));
+                            span.begin("sample.step", ctx.step as i64, NO_LABEL);
                             let step_start = Instant::now();
                             let mut sink_wait = Duration::ZERO;
                             let mut closed = false;
@@ -913,6 +983,7 @@ impl Pipeline {
                                 step_start.elapsed().saturating_sub(sink_wait),
                             );
                             add_nanos(&clocks.sample_stall, sink_wait);
+                            span.end();
                             if closed {
                                 return;
                             }
@@ -932,6 +1003,8 @@ impl Pipeline {
             }
 
             // ---- Stage 3: the compute consumer (this thread). ------------
+            let mut compute_span = telemetry.scope("compute");
+            let compute_span = &mut compute_span;
             let mut run_consumer = || -> Result<()> {
                 for s in 0..num_steps {
                     let q = &batch_queues[s % workers];
@@ -955,6 +1028,8 @@ impl Pipeline {
                                 let (parts_step, new_parts) = parts?;
                                 debug_assert_eq!(parts_step, s, "partition payload out of order");
                                 report.partition_loads += new_parts.len();
+                                compute_span.begin("compute.step", s as i64, NO_LABEL);
+                                compute_span.begin("compute.install", s as i64, NO_LABEL);
                                 let install_start = Instant::now();
                                 let evicted = if self.config.synchronous_writeback {
                                     // Oracle mode: pay the eviction IO inline
@@ -981,6 +1056,7 @@ impl Pipeline {
                                 clock.swap.publish(s as i64);
                                 cur_ctx = Some(ctx);
                                 report.compute_busy += install_start.elapsed();
+                                compute_span.end();
                                 // Hand the detached generation to the drain.
                                 // Pushed even when empty so the write-back
                                 // watermark advances through every step. A
@@ -996,11 +1072,14 @@ impl Pipeline {
                                         reason: format!("batch before Begin in step {s}"),
                                     })?;
                                 report.batches += 1;
+                                compute_span.begin("compute.batch", s as i64, NO_LABEL);
                                 consume(buffer, ctx, batch);
+                                compute_span.end();
                                 report.compute_busy += busy_start.elapsed();
                             }
                             StepOut::End => {
                                 report.compute_busy += busy_start.elapsed();
+                                compute_span.end();
                                 break;
                             }
                             StepOut::Err(e) => return Err(e),
@@ -1086,7 +1165,42 @@ impl Pipeline {
         report.writeback_stall = nanos(&clocks.writeback_stall);
         report.partitions_written_back = clocks.writeback_parts.load(Ordering::Relaxed) as usize;
         report.wall_time = epoch_start.elapsed();
+        self.mirror_report(&report);
         Ok(report)
+    }
+
+    /// Mirrors one epoch's [`PipelineReport`] into the `pipeline.*` counters,
+    /// so `metrics.json` aggregates agree with the report fields exactly
+    /// (the counters accumulate across epochs).
+    fn mirror_report(&self, report: &PipelineReport) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let t = &self.telemetry;
+        t.counter("pipeline.steps").add(report.steps as u64);
+        t.counter("pipeline.batches").add(report.batches as u64);
+        t.counter("pipeline.partition_loads")
+            .add(report.partition_loads as u64);
+        t.counter("pipeline.prefetch_busy_ns")
+            .add_duration(report.prefetch_busy);
+        t.counter("pipeline.prefetch_stall_ns")
+            .add_duration(report.prefetch_stall);
+        t.counter("pipeline.sample_busy_ns")
+            .add_duration(report.sample_busy);
+        t.counter("pipeline.sample_stall_ns")
+            .add_duration(report.sample_stall);
+        t.counter("pipeline.compute_busy_ns")
+            .add_duration(report.compute_busy);
+        t.counter("pipeline.compute_stall_ns")
+            .add_duration(report.compute_stall);
+        t.counter("pipeline.writeback_busy_ns")
+            .add_duration(report.writeback_busy);
+        t.counter("pipeline.writeback_stall_ns")
+            .add_duration(report.writeback_stall);
+        t.counter("pipeline.partitions_written_back")
+            .add(report.partitions_written_back as u64);
+        t.counter("pipeline.wall_time_ns")
+            .add_duration(report.wall_time);
     }
 }
 
@@ -1095,6 +1209,7 @@ mod tests {
     use super::*;
     use marius_graph::{EdgeList, Partitioner};
     use marius_storage::PartitionStore;
+    use marius_telemetry::Phase;
     use rand::Rng;
 
     fn build_buffer(label: &str, num_nodes: u64, p: u32, capacity: usize) -> PartitionBuffer {
@@ -1300,6 +1415,97 @@ mod tests {
             .unwrap();
         writeback_safe_point(&buffer).unwrap();
         assert_eq!(buffer.writeback_ledger().pending_count(), 0);
+    }
+
+    #[test]
+    fn telemetry_spans_and_counters_mirror_report() {
+        let telemetry = Telemetry::enabled();
+        let mut buffer = build_buffer("pipe-telemetry", 60, 6, 3);
+        let plan = pair_plan(6, 3, 5);
+        let pipeline = Pipeline::new(PipelineConfig::with_workers(2)).with_telemetry(&telemetry);
+        let report = pipeline
+            .run_epoch(
+                &plan,
+                &mut buffer,
+                99,
+                |ctx, _rng, sink| {
+                    for k in 0..plan.bucket_assignment[ctx.step].len() {
+                        sink((ctx.step, k));
+                    }
+                },
+                |_buffer, _ctx, _batch: (usize, usize)| {},
+            )
+            .unwrap();
+        let snap = telemetry.metrics_snapshot();
+        // Counters mirror the report exactly.
+        assert_eq!(snap.counter("pipeline.steps"), Some(report.steps as u64));
+        assert_eq!(
+            snap.counter("pipeline.batches"),
+            Some(report.batches as u64)
+        );
+        assert_eq!(
+            snap.counter("pipeline.partition_loads"),
+            Some(report.partition_loads as u64)
+        );
+        assert_eq!(
+            snap.counter("pipeline.prefetch_busy_ns"),
+            Some(report.prefetch_busy.as_nanos() as u64)
+        );
+        assert_eq!(
+            snap.counter("pipeline.compute_stall_ns"),
+            Some(report.compute_stall.as_nanos() as u64)
+        );
+        // Every queue sampled its depth at least once per push.
+        let depths = snap.histogram("pipeline.queue_depth.batch").unwrap();
+        assert!(depths.total as usize >= report.batches);
+        // All five stage tracks recorded spans, and the stream is balanced.
+        let events = telemetry.span_events();
+        let names: std::collections::BTreeSet<&str> = events
+            .iter()
+            .map(|e| e.name)
+            .filter(|n| !n.is_empty())
+            .collect();
+        for expected in [
+            "context-prefetch.step",
+            "partition-prefetch.step",
+            "sample.step",
+            "compute.step",
+            "compute.install",
+            "writeback.step",
+        ] {
+            assert!(names.contains(expected), "missing span {expected}");
+        }
+        let begins = events.iter().filter(|e| e.phase == Phase::Begin).count();
+        let ends = events.iter().filter(|e| e.phase == Phase::End).count();
+        assert_eq!(begins, ends);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_batch_stream() {
+        let run = |telemetry: Option<Telemetry>| -> Vec<u64> {
+            let mut buffer = build_buffer("pipe-telem-det", 50, 5, 2);
+            let plan = pair_plan(5, 2, 21);
+            let mut pipeline = Pipeline::new(PipelineConfig::with_workers(3));
+            if let Some(t) = &telemetry {
+                pipeline = pipeline.with_telemetry(t);
+            }
+            let out = Mutex::new(Vec::new());
+            pipeline
+                .run_epoch(
+                    &plan,
+                    &mut buffer,
+                    4242,
+                    |ctx, rng, sink| {
+                        for _ in 0..3 {
+                            sink(((ctx.step as u64) << 32) | (rng.gen::<u64>() >> 32));
+                        }
+                    },
+                    |_buffer, _ctx, v| out.lock().unwrap().push(v),
+                )
+                .unwrap();
+            out.into_inner().unwrap()
+        };
+        assert_eq!(run(None), run(Some(Telemetry::enabled())));
     }
 
     #[test]

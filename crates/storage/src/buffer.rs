@@ -36,10 +36,15 @@
 use crate::disk::PartitionStore;
 use crate::{Result, StorageError};
 use marius_graph::{Edge, InMemorySubgraph, NodeId, PartitionAssignment, PartitionId};
+use marius_telemetry::{Counter, Histogram, Telemetry};
 use marius_tensor::Tensor;
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Fixed buckets for the write-back ledger occupancy histogram (pending
+/// detached evictions observed at each deferred swap).
+const LEDGER_OCCUPANCY_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64];
 
 /// A resident node partition: embedding rows and Adagrad state for its nodes, in
 /// the order given by `PartitionAssignment::nodes_in`.
@@ -148,6 +153,44 @@ impl WritebackLedger {
     }
 }
 
+/// Monotonic swap-activity counters of a [`PartitionBuffer`]: how many
+/// partitions of each requested set were already resident (hits), how many
+/// had to come from disk or the prefetcher (misses), and how many residents
+/// were evicted to make room. Counted on every swap path (synchronous,
+/// install, deferred); reset per epoch by the trainer via
+/// [`PartitionBuffer::reset_stats`], like the store's IO stats.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Requested partitions that were already resident at swap time.
+    pub hits: u64,
+    /// Requested partitions that were loaded (or installed prefetched).
+    pub misses: u64,
+    /// Resident partitions evicted to make room (dirty or clean).
+    pub evictions: u64,
+}
+
+/// Live telemetry handles mirroring buffer swap activity under `buffer.*`
+/// names (no-ops until [`PartitionBuffer::with_telemetry`]).
+#[derive(Debug, Default)]
+struct BufferTelemetry {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    ledger_occupancy: Histogram,
+}
+
+impl BufferTelemetry {
+    fn attach(telemetry: &Telemetry) -> Self {
+        BufferTelemetry {
+            hits: telemetry.counter("buffer.hits"),
+            misses: telemetry.counter("buffer.misses"),
+            evictions: telemetry.counter("buffer.evictions"),
+            ledger_occupancy: telemetry
+                .histogram("writeback.ledger_occupancy", LEDGER_OCCUPANCY_BOUNDS),
+        }
+    }
+}
+
 /// The fixed-capacity partition buffer.
 #[derive(Debug)]
 pub struct PartitionBuffer {
@@ -171,6 +214,10 @@ pub struct PartitionBuffer {
     /// Shared with the pipeline's write-back drain: which partitions have
     /// detached (deferred-dirty) contents that are not yet on disk.
     ledger: Arc<WritebackLedger>,
+    /// Swap hit/miss/eviction counters (always on; plain integers).
+    stats: BufferStats,
+    /// Live `buffer.*` telemetry (no-ops unless a recorder is attached).
+    telemetry: BufferTelemetry,
 }
 
 impl PartitionBuffer {
@@ -200,7 +247,24 @@ impl PartitionBuffer {
             in_memory_edges: Vec::new(),
             subgraph: Arc::new(InMemorySubgraph::from_edges(&[])),
             ledger: Arc::new(WritebackLedger::default()),
+            stats: BufferStats::default(),
+            telemetry: BufferTelemetry::default(),
         }
+    }
+
+    /// Attaches live telemetry (`buffer.hits` / `buffer.misses` /
+    /// `buffer.evictions` counters and the `writeback.ledger_occupancy`
+    /// histogram). With a disabled recorder the handles are no-ops; the plain
+    /// [`BufferStats`] counters are maintained either way.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.attach_telemetry(telemetry);
+        self
+    }
+
+    /// In-place form of [`PartitionBuffer::with_telemetry`], for buffers
+    /// already embedded in a larger setup.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = BufferTelemetry::attach(telemetry);
     }
 
     /// A shared handle to the write-back ledger, for the drain thread that
@@ -233,6 +297,26 @@ impl PartitionBuffer {
     /// The underlying store (for IO statistics).
     pub fn store(&self) -> &PartitionStore {
         &self.store
+    }
+
+    /// A snapshot of the swap hit/miss/eviction counters.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Resets the swap counters (used between epochs by the trainer, like
+    /// [`PartitionStore::reset_io_stats`]).
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+
+    /// Records one completed swap: `hits` partitions of the requested set
+    /// were already resident, `misses` came from disk or the prefetcher.
+    fn note_swap(&mut self, hits: u64, misses: u64) {
+        self.stats.hits += hits;
+        self.stats.misses += misses;
+        self.telemetry.hits.add(hits);
+        self.telemetry.misses.add(misses);
     }
 
     /// Writes initial random embeddings (and zero optimizer state) for every
@@ -319,6 +403,7 @@ impl PartitionBuffer {
         }
         self.in_memory_edges = edges;
         self.subgraph = Arc::new(InMemorySubgraph::from_edges(&self.in_memory_edges));
+        self.note_swap((set.len() - loads) as u64, loads as u64);
         Ok(loads)
     }
 
@@ -364,6 +449,9 @@ impl PartitionBuffer {
         for e in &evicted {
             self.ledger.mark_pending(e.id);
         }
+        self.telemetry
+            .ledger_occupancy
+            .record(self.ledger.pending_count() as u64);
         Ok((installs, evicted))
     }
 
@@ -376,7 +464,10 @@ impl PartitionBuffer {
     ) -> Result<(usize, Vec<EvictedPartition>)> {
         let (wanted, evicted) = self.begin_swap(set)?;
         match self.install_new_parts(&wanted, set, new_parts, edges, subgraph) {
-            Ok(installs) => Ok((installs, evicted)),
+            Ok(installs) => {
+                self.note_swap((set.len() - installs) as u64, installs as u64);
+                Ok((installs, evicted))
+            }
             Err(e) => {
                 // The swap already detached this step's dirty evictions; put
                 // their bytes on disk (best effort) before surfacing the
@@ -471,6 +562,8 @@ impl PartitionBuffer {
             .filter(|p| !wanted.contains(p))
             .collect();
         to_evict.sort_unstable();
+        self.stats.evictions += to_evict.len() as u64;
+        self.telemetry.evictions.add(to_evict.len() as u64);
         let mut evicted = Vec::with_capacity(to_evict.len());
         for p in to_evict {
             if let Some(data) = self.resident.remove(&p) {

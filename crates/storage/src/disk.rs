@@ -12,12 +12,13 @@ use crate::io_model::IoCostModel;
 use crate::retry::{self, RetryPolicy};
 use crate::{Result, StorageError};
 use marius_graph::{Edge, PartitionId};
+use marius_telemetry::{Counter, Telemetry};
 use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Extension of the temporary siblings every atomic placement goes through.
 /// Readers (and [`PartitionStore::snapshot_to`] / [`PartitionStore::restore_from`])
@@ -99,6 +100,10 @@ pub struct IoStats {
     /// Number of faults injected by the attached
     /// [`crate::fault::FaultInjector`], if any (0 on real devices).
     pub faults_injected: u64,
+    /// Total time operations spent blocked on the emulated device's
+    /// reservation queue ([`PartitionStore::with_emulated_device`]); zero on
+    /// real devices, where the OS hides queueing from the process.
+    pub throttle_wait: Duration,
 }
 
 #[derive(Debug, Default)]
@@ -109,6 +114,7 @@ struct IoCounters {
     writes: AtomicU64,
     min_read_bytes: AtomicU64,
     io_retries: AtomicU64,
+    throttle_wait_ns: AtomicU64,
     /// The injector's monotonic fault count at the last
     /// [`PartitionStore::reset_io_stats`], so per-epoch snapshots report a
     /// delta like every other counter.
@@ -151,6 +157,35 @@ impl IoCounters {
             min_read_bytes: self.min_read_bytes.load(Ordering::Relaxed),
             io_retries: self.io_retries.load(Ordering::Relaxed),
             faults_injected: 0,
+            throttle_wait: Duration::from_nanos(self.throttle_wait_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Live telemetry counter handles mirroring the store's IO activity into a
+/// [`Telemetry`] registry under `storage.*` names. All handles are no-ops
+/// until a recorder is attached via [`PartitionStore::with_telemetry`].
+#[derive(Debug, Default, Clone)]
+struct StoreTelemetry {
+    reads: Counter,
+    writes: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    io_retries: Counter,
+    faults_injected: Counter,
+    throttle_wait_ns: Counter,
+}
+
+impl StoreTelemetry {
+    fn attach(telemetry: &Telemetry) -> Self {
+        StoreTelemetry {
+            reads: telemetry.counter("storage.reads"),
+            writes: telemetry.counter("storage.writes"),
+            bytes_read: telemetry.counter("storage.bytes_read"),
+            bytes_written: telemetry.counter("storage.bytes_written"),
+            io_retries: telemetry.counter("storage.io_retries"),
+            faults_injected: telemetry.counter("storage.faults_injected"),
+            throttle_wait_ns: telemetry.counter("storage.throttle_wait_ns"),
         }
     }
 }
@@ -175,8 +210,9 @@ impl DeviceGate {
     }
 
     /// Reserves device time for one op of `bytes` and sleeps until the
-    /// reservation has elapsed.
-    fn charge(&self, bytes: u64) {
+    /// reservation has elapsed. Returns the time actually slept — the
+    /// reservation wait that was invisible before throttle-wait accounting.
+    fn charge(&self, bytes: u64) -> Duration {
         let cost = self.model.transfer_time(bytes, 1);
         let finish = {
             // Recover rather than cascade if a peer thread panicked while
@@ -191,7 +227,11 @@ impl DeviceGate {
         };
         let now = Instant::now();
         if finish > now {
-            std::thread::sleep(finish - now);
+            let wait = finish - now;
+            std::thread::sleep(wait);
+            wait
+        } else {
+            Duration::ZERO
         }
     }
 }
@@ -217,6 +257,8 @@ pub struct PartitionStore {
     faults: Option<Arc<FaultInjector>>,
     /// Retry policy applied to every fallible store operation.
     retry: RetryPolicy,
+    /// Live `storage.*` counters (no-ops unless a recorder is attached).
+    telemetry: StoreTelemetry,
 }
 
 impl PartitionStore {
@@ -240,6 +282,7 @@ impl PartitionStore {
             throttle: None,
             faults: None,
             retry: RetryPolicy::default_transient(),
+            telemetry: StoreTelemetry::default(),
         })
     }
 
@@ -280,15 +323,47 @@ impl PartitionStore {
         self.faults.as_ref()
     }
 
+    /// Attaches live telemetry counters (`storage.reads`, `storage.writes`,
+    /// `storage.bytes_read`, `storage.bytes_written`, `storage.io_retries`,
+    /// `storage.faults_injected`, `storage.throttle_wait_ns`) mirroring this
+    /// store's IO activity — including every clone taken *after* this call.
+    /// With a disabled recorder the handles are no-ops and the hot path is
+    /// unchanged.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = StoreTelemetry::attach(telemetry);
+        self
+    }
+
     /// Runs `op` under the store's retry policy, classifying errors through
-    /// [`StorageError::is_transient`] and counting retries into the IO stats.
+    /// [`StorageError::is_transient`] and counting retries into the IO stats
+    /// (and, when telemetry is attached, into the `storage.io_retries` /
+    /// `storage.faults_injected` counters as deltas around the operation).
     fn retrying<T>(&self, key: &str, op: impl FnMut() -> Result<T>) -> Result<T> {
-        retry::with_retry(
+        if !self.telemetry.io_retries.is_enabled() {
+            return retry::with_retry(
+                &self.retry,
+                self.retry.op_seed(key),
+                &self.counters.io_retries,
+                op,
+            );
+        }
+        let retries_before = self.counters.io_retries.load(Ordering::Relaxed);
+        let faults_before = self.faults.as_ref().map_or(0, |f| f.faults_injected());
+        let out = retry::with_retry(
             &self.retry,
             self.retry.op_seed(key),
             &self.counters.io_retries,
             op,
-        )
+        );
+        let retries_after = self.counters.io_retries.load(Ordering::Relaxed);
+        let faults_after = self.faults.as_ref().map_or(0, |f| f.faults_injected());
+        self.telemetry
+            .io_retries
+            .add(retries_after.saturating_sub(retries_before));
+        self.telemetry
+            .faults_injected
+            .add(faults_after.saturating_sub(faults_before));
+        out
     }
 
     /// Checks a read against the fault schedule, if one is attached.
@@ -329,11 +404,33 @@ impl PartitionStore {
         self.place(key, path, bytes)
     }
 
-    /// Charges one op of `bytes` against the emulated device, if any.
+    /// Charges one op of `bytes` against the emulated device, if any, and
+    /// accounts the reservation wait.
     fn throttle_op(&self, bytes: u64) {
         if let Some(gate) = &self.throttle {
-            gate.charge(bytes);
+            let waited = gate.charge(bytes);
+            if !waited.is_zero() {
+                self.counters.throttle_wait_ns.fetch_add(
+                    u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX),
+                    Ordering::Relaxed,
+                );
+                self.telemetry.throttle_wait_ns.add_duration(waited);
+            }
         }
+    }
+
+    /// Records one read of `bytes` into the IO counters and telemetry.
+    fn note_read(&self, bytes: u64) {
+        self.counters.record_read(bytes);
+        self.telemetry.reads.incr();
+        self.telemetry.bytes_read.add(bytes);
+    }
+
+    /// Records one write of `bytes` into the IO counters and telemetry.
+    fn note_write(&self, bytes: u64) {
+        self.counters.record_write(bytes);
+        self.telemetry.writes.incr();
+        self.telemetry.bytes_written.add(bytes);
     }
 
     /// Opens a store in a fresh unique subdirectory of the system temp dir.
@@ -372,6 +469,7 @@ impl PartitionStore {
         self.counters.writes.store(0, Ordering::Relaxed);
         self.counters.min_read_bytes.store(0, Ordering::Relaxed);
         self.counters.io_retries.store(0, Ordering::Relaxed);
+        self.counters.throttle_wait_ns.store(0, Ordering::Relaxed);
         // The injector's fault counter is monotonic (it is shared across
         // clones and trainer restarts); re-baseline instead of resetting.
         if let Some(faults) = &self.faults {
@@ -407,7 +505,7 @@ impl PartitionStore {
             buf.extend_from_slice(&s.to_le_bytes());
         }
         self.place(&format!("partition/{id}"), &self.partition_path(id), &buf)?;
-        self.counters.record_write(buf.len() as u64);
+        self.note_write(buf.len() as u64);
         self.throttle_op(buf.len() as u64);
         Ok(())
     }
@@ -435,7 +533,7 @@ impl PartitionStore {
         })?;
         let mut buf = Vec::new();
         file.read_to_end(&mut buf)?;
-        self.counters.record_read(buf.len() as u64);
+        self.note_read(buf.len() as u64);
         self.throttle_op(buf.len() as u64);
         if buf.len() < 8 {
             return Err(StorageError::NotResident {
@@ -470,7 +568,7 @@ impl PartitionStore {
             &self.bucket_path(src, dst),
             &buf,
         )?;
-        self.counters.record_write(buf.len() as u64);
+        self.note_write(buf.len() as u64);
         self.throttle_op(buf.len() as u64);
         Ok(())
     }
@@ -493,7 +591,7 @@ impl PartitionStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(StorageError::Io(e)),
         };
-        self.counters.record_read(buf.len().max(1) as u64);
+        self.note_read(buf.len().max(1) as u64);
         self.throttle_op(buf.len().max(1) as u64);
         let mut edges = Vec::with_capacity(buf.len() / Edge::DISK_BYTES);
         for rec in buf.chunks_exact(Edge::DISK_BYTES) {

@@ -51,7 +51,7 @@ pub mod policy;
 pub mod retry;
 pub mod tuning;
 
-pub use buffer::{EvictedPartition, PartitionBuffer, WritebackLedger};
+pub use buffer::{BufferStats, EvictedPartition, PartitionBuffer, WritebackLedger};
 pub use disk::{atomic_write, IoStats, PartitionStore};
 pub use fault::{FaultInjector, IoFaultPlan, Outage};
 pub use io_model::IoCostModel;

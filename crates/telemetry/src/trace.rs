@@ -1,0 +1,177 @@
+//! Span events and the Chrome `trace_event` exporter.
+//!
+//! Spans are recorded per thread through [`crate::SpanScope`] and merged into
+//! one event list when the scope drops. The exporter renders the merged list
+//! as a Chrome JSON trace (the `traceEvents` array format) that loads
+//! directly in `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use crate::json;
+
+/// Sentinel for "no step / no partition label" on a span.
+pub const NO_LABEL: i64 = -1;
+
+/// Event phase, matching the Chrome `trace_event` `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span begin (`"B"`).
+    Begin,
+    /// Span end (`"E"`).
+    End,
+    /// Zero-duration instant event (`"i"`).
+    Instant,
+}
+
+/// One recorded event. Fixed-size (no owned strings), so recording a span is
+/// two `Vec` pushes into a thread-private buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanEvent {
+    /// Span name (a static label such as `"compute-step"`).
+    pub name: &'static str,
+    /// Begin / end / instant.
+    pub phase: Phase,
+    /// Nanoseconds since the recorder's origin instant.
+    pub ts_ns: u64,
+    /// Recorder-assigned thread id (index into the thread-label table).
+    pub tid: u32,
+    /// Global record order, used as a stable sort tie-breaker.
+    pub seq: u64,
+    /// Pipeline step label, or [`NO_LABEL`].
+    pub step: i64,
+    /// Partition label, or [`NO_LABEL`].
+    pub partition: i64,
+}
+
+/// Renders merged events plus thread labels as a Chrome trace JSON document.
+///
+/// Events are sorted by `(ts_ns, seq)` — nondecreasing timestamps, with the
+/// original record order breaking ties so begin/end nesting within a thread
+/// is preserved. Timestamps are emitted in fractional microseconds, the unit
+/// the Chrome trace format expects.
+pub(crate) fn chrome_trace_json(threads: &[String], events: &mut [SpanEvent]) -> String {
+    events.sort_by_key(|e| (e.ts_ns, e.seq));
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, item: String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(&item);
+    };
+    push(
+        &mut out,
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"marius\"}}"
+            .to_string(),
+    );
+    for (tid, label) in threads.iter().enumerate() {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                tid,
+                json::escape(label)
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"sort_index\":{tid}}}}}"
+            ),
+        );
+    }
+    for e in events.iter() {
+        let ph = match e.phase {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        };
+        let mut args = String::new();
+        if e.step != NO_LABEL {
+            args.push_str(&format!("\"step\":{}", e.step));
+        }
+        if e.partition != NO_LABEL {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            args.push_str(&format!("\"partition\":{}", e.partition));
+        }
+        let scope = if e.phase == Phase::Instant {
+            ",\"s\":\"t\""
+        } else {
+            ""
+        };
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{}.{:03},\"pid\":1,\"tid\":{}{},\
+                 \"args\":{{{}}}}}",
+                json::escape(e.name),
+                ph,
+                e.ts_ns / 1_000,
+                e.ts_ns % 1_000,
+                e.tid,
+                scope,
+                args,
+            ),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, phase: Phase, ts_ns: u64, seq: u64) -> SpanEvent {
+        SpanEvent {
+            name,
+            phase,
+            ts_ns,
+            tid: 0,
+            seq,
+            step: NO_LABEL,
+            partition: NO_LABEL,
+        }
+    }
+
+    #[test]
+    fn export_sorts_by_timestamp_then_record_order() {
+        let threads = vec!["main".to_string()];
+        let mut events = vec![
+            ev("b", Phase::Begin, 2_000, 2),
+            ev("a", Phase::Begin, 1_000, 0),
+            ev("a", Phase::End, 2_000, 1),
+        ];
+        let json = chrome_trace_json(&threads, &mut events);
+        let a_begin = json.find("\"ts\":1.000").unwrap();
+        let a_end = json.find("\"ph\":\"E\"").unwrap();
+        let b_begin = json.find("\"name\":\"b\"").unwrap();
+        assert!(a_begin < a_end && a_end < b_begin);
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("{\"name\":\"marius\"}"));
+    }
+
+    #[test]
+    fn labels_are_emitted_only_when_present() {
+        let threads = vec!["t".to_string()];
+        let mut events = vec![SpanEvent {
+            name: "s",
+            phase: Phase::Begin,
+            ts_ns: 1_234_567,
+            tid: 0,
+            seq: 0,
+            step: 4,
+            partition: 9,
+        }];
+        let json = chrome_trace_json(&threads, &mut events);
+        assert!(json.contains("\"ts\":1234.567"));
+        assert!(json.contains("\"args\":{\"step\":4,\"partition\":9}"));
+        let mut events = vec![ev("s", Phase::Instant, 0, 0)];
+        let json = chrome_trace_json(&threads, &mut events);
+        assert!(json.contains("\"args\":{}"));
+        assert!(json.contains("\"s\":\"t\""));
+    }
+}

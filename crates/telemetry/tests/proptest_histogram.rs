@@ -1,0 +1,67 @@
+//! Property tests pinning histogram bucket determinism: the fixed-bucket
+//! rule is a pure function of (bounds, value), recording order never changes
+//! the final counts, and every sample lands in exactly one bucket.
+
+use marius_telemetry::{bucket_index, Telemetry};
+use proptest::prelude::*;
+
+/// Strictly increasing bucket bounds (1..=8 of them).
+fn bounds_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..1_000, 1..8).prop_map(|mut raw| {
+        raw.sort_unstable();
+        raw.dedup();
+        raw
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The bucket rule: `v` lands in the first bucket whose inclusive upper
+    /// bound is `>= v`, or the overflow bucket.
+    #[test]
+    fn bucket_index_matches_linear_scan(
+        bounds in bounds_strategy(),
+        v in 0u64..2_000,
+    ) {
+        let expect = bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(bounds.len());
+        prop_assert_eq!(bucket_index(&bounds, v), expect);
+        // Inclusive upper bounds: the bound itself lands in its own bucket.
+        for (i, &b) in bounds.iter().enumerate() {
+            prop_assert_eq!(bucket_index(&bounds, b), i);
+        }
+    }
+
+    /// Recording the same multiset of samples in any order yields identical
+    /// counts, totals and sums — bucketing is deterministic and
+    /// order-independent.
+    #[test]
+    fn histogram_counts_are_order_independent(
+        bounds in bounds_strategy(),
+        samples in proptest::collection::vec(0u64..2_000, 0..64),
+    ) {
+        let forward = Telemetry::enabled();
+        let h = forward.histogram("h", &bounds);
+        for &v in &samples {
+            h.record(v);
+        }
+        let reverse = Telemetry::enabled();
+        let h = reverse.histogram("h", &bounds);
+        for &v in samples.iter().rev() {
+            h.record(v);
+        }
+        let a = forward.metrics_snapshot();
+        let b = reverse.metrics_snapshot();
+        let ha = a.histogram("h").unwrap();
+        let hb = b.histogram("h").unwrap();
+        prop_assert_eq!(ha, hb);
+        // Every sample landed in exactly one bucket.
+        prop_assert_eq!(ha.counts.iter().sum::<u64>(), samples.len() as u64);
+        prop_assert_eq!(ha.total, samples.len() as u64);
+        prop_assert_eq!(ha.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(ha.counts.len(), bounds.len() + 1);
+    }
+}

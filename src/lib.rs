@@ -104,6 +104,41 @@
 //!
 //! See `marius_storage::fault` for the fault model and error taxonomy.
 //!
+//! # Telemetry
+//!
+//! [`SessionBuilder::telemetry`] attaches a [`Telemetry`] recorder to the
+//! whole run: the trainer's epoch loop, checkpoint writes, every pipeline
+//! stage thread and bounded queue, and the partition store/buffer record
+//! spans and metrics into it. Recording reads only monotonic clocks — never
+//! RNG — so trajectories are bit-identical with telemetry on or off, and the
+//! default (a disabled handle) costs nothing:
+//!
+//! ```no_run
+//! use marius::graph::datasets::{DatasetSpec, ScaledDataset};
+//! use marius::{ModelConfig, Session, Storage, Telemetry, TrainConfig};
+//!
+//! # fn main() -> marius::Result<()> {
+//! let telemetry = Telemetry::enabled();
+//! let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.05), 42);
+//! let mut session = Session::builder()
+//!     .dataset(data)
+//!     .model(ModelConfig::paper_distmult(32))
+//!     .train(TrainConfig::quick(2, 42))
+//!     .storage(Storage::Disk(marius::DiskConfig::comet(16, 4)))
+//!     .pipeline(marius::PipelineConfig::with_workers(2))
+//!     .telemetry(&telemetry)
+//!     .build()?;
+//! session.train()?;
+//! // Load trace.json in chrome://tracing or https://ui.perfetto.dev;
+//! // metrics.json aggregates mirror the EpochReport fields exactly.
+//! telemetry.write_chrome_trace("trace.json")?;
+//! telemetry.write_metrics_json("metrics.json")?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `marius_telemetry` for the event model and overhead guarantees.
+//!
 //! # Workspace map
 //!
 //! * [`tensor`] / [`gnn`] — dense kernels, layers, decoders, optimizers.
@@ -125,7 +160,10 @@ pub use marius_graph as graph;
 pub use marius_pipeline as pipeline;
 pub use marius_sampling as sampling;
 pub use marius_storage as storage;
+pub use marius_telemetry as telemetry;
 pub use marius_tensor as tensor;
+
+pub use marius_telemetry::Telemetry;
 
 pub use marius_core::{
     Checkpoint, DiskConfig, EncoderKind, EpochHook, EpochReport, ExperimentReport,
@@ -167,6 +205,7 @@ pub struct SessionBuilder<T: Task = LinkPredictionTask> {
     eval_every: usize,
     epoch_hook: Option<EpochHook>,
     checkpoint: Option<(usize, PathBuf)>,
+    telemetry: Telemetry,
 }
 
 impl Default for SessionBuilder<LinkPredictionTask> {
@@ -191,6 +230,7 @@ impl<T: Task> SessionBuilder<T> {
             eval_every: 1,
             epoch_hook: None,
             checkpoint: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -210,6 +250,7 @@ impl<T: Task> SessionBuilder<T> {
             eval_every: self.eval_every,
             epoch_hook: self.epoch_hook,
             checkpoint: self.checkpoint,
+            telemetry: self.telemetry,
         }
     }
 
@@ -300,6 +341,19 @@ impl<T: Task> SessionBuilder<T> {
         self
     }
 
+    /// Attaches a [`Telemetry`] recorder to the run: the trainer's epoch
+    /// loop, checkpoint writes, every pipeline stage thread and bounded
+    /// queue, and the partition store/buffer all record spans and metrics
+    /// into the cloned handle. Recording reads only monotonic clocks — never
+    /// an RNG stream — so the loss trajectory is bit-identical with telemetry
+    /// attached or not. The default is a disabled handle whose every
+    /// operation is a single-branch no-op. After the run, export with
+    /// [`Telemetry::write_chrome_trace`] / [`Telemetry::write_metrics_json`].
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
     /// Writes a full durable checkpoint under the directory `path` every
     /// `every` epochs (and always after the final epoch): model parameters
     /// and optimizer accumulators, the embedding table or a snapshot of the
@@ -328,7 +382,8 @@ impl<T: Task> SessionBuilder<T> {
 
         let mut trainer = Trainer::with_task(self.task, model, self.train)
             .with_pipeline(self.pipeline)
-            .with_eval_every(self.eval_every);
+            .with_eval_every(self.eval_every)
+            .with_telemetry(&self.telemetry);
         if let Some(io) = self.emulated_device {
             trainer = trainer.with_emulated_device(io);
         }
@@ -398,7 +453,7 @@ impl<T: Task + Default> Session<T> {
     /// resuming a node-classification checkpoint requires
     /// `Session::<NodeClassificationTask>::resume_from`.
     pub fn resume_from(path: impl AsRef<Path>) -> Result<Session<T>> {
-        Self::resume(path, None, None, None)
+        Self::resume(path, None, None, None, Telemetry::disabled())
     }
 
     /// Like [`Session::resume_from`], but raises the run's total epoch target
@@ -406,7 +461,7 @@ impl<T: Task + Default> Session<T> {
     /// "2 epochs done, train to 4" when the interrupted run had a shorter
     /// target. `epochs` below the checkpointed progress is rejected.
     pub fn resume_from_until(path: impl AsRef<Path>, epochs: usize) -> Result<Session<T>> {
-        Self::resume(path, Some(epochs), None, None)
+        Self::resume(path, Some(epochs), None, None, Telemetry::disabled())
     }
 
     /// Trains to completion, automatically resuming from the newest
@@ -445,7 +500,13 @@ impl<T: Task + Default> Session<T> {
                 return Err(err);
             }
             attempts += 1;
-            match Session::<T>::resume(&dir, Some(target_epochs), faults.clone(), self.retry) {
+            match Session::<T>::resume(
+                &dir,
+                Some(target_epochs),
+                faults.clone(),
+                self.retry,
+                self.trainer.telemetry().clone(),
+            ) {
                 Ok(mut next) => {
                     resumed_at.push(next.trainer.resume_start_epoch().unwrap_or(0));
                     outcome = next.train();
@@ -466,6 +527,7 @@ impl<T: Task + Default> Session<T> {
         epochs: Option<usize>,
         faults: Option<Arc<FaultInjector>>,
         retry: Option<RetryPolicy>,
+        telemetry: Telemetry,
     ) -> Result<Session<T>> {
         let path = path.as_ref();
         let ckpt = Checkpoint::open(path)?;
@@ -497,7 +559,8 @@ impl<T: Task + Default> Session<T> {
             .with_pipeline(ckpt.pipeline.clone())
             .with_eval_every(ckpt.eval_every)
             .with_checkpoint(path, ckpt.every)
-            .with_resume(ckpt.resume_state());
+            .with_resume(ckpt.resume_state())
+            .with_telemetry(&telemetry);
         if let Some(io) = ckpt.emulated_device {
             trainer = trainer.with_emulated_device(io);
         }
