@@ -1,0 +1,221 @@
+//! Serving latency/QPS: a zipfian link-prediction query mix against one
+//! shared `marius_serve::Server`, swept over thread counts for both the
+//! in-memory backend and the byte-budgeted out-of-core read cache.
+//!
+//! Every configuration answers the *same* pre-generated query list, and the
+//! harness folds each answer's exact f32 bit patterns into an FNV-1a digest
+//! in query order — so a single-threaded in-memory oracle pins the expected
+//! digest and every concurrent/out-of-core run must reproduce it bit for
+//! bit. The table reports per-query p50/p99 latency and aggregate QPS; the
+//! read-cache rows show what paging cold partitions through disk costs under
+//! a hot-skewed workload.
+//!
+//! Set `MARIUS_BENCH_SMOKE=1` for the tiny CI configuration (the serve-smoke
+//! job uploads `BENCH_serve_qps.json` as a perf-trajectory artifact).
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use marius_bench::header;
+use marius_core::{DiskConfig, LinkPredictionTask, ModelConfig, TrainConfig, Trainer};
+use marius_graph::datasets::{DatasetSpec, ScaledDataset};
+use marius_graph::{NodeId, RelId};
+use marius_serve::{Prediction, ServeConfig, Server, ZipfWorkload};
+
+fn smoke() -> bool {
+    std::env::var("MARIUS_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+#[derive(Clone)]
+enum Query {
+    Pairwise(Vec<(NodeId, RelId, NodeId)>),
+    TopK(NodeId, RelId),
+    Knn(NodeId),
+}
+
+fn make_queries(count: usize, num_nodes: u64, num_relations: u32) -> Vec<Query> {
+    let mut workload = ZipfWorkload::new(num_nodes, num_relations, 1.0, 42);
+    (0..count)
+        .map(|i| match i % 4 {
+            0 => Query::Pairwise((0..16).map(|_| workload.next_triple()).collect()),
+            3 => Query::Knn(workload.next_node()),
+            _ => {
+                let (src, rel, _) = workload.next_triple();
+                Query::TopK(src, rel)
+            }
+        })
+        .collect()
+}
+
+/// FNV-1a over the answer's exact bit patterns.
+fn fold(digest: &mut u64, word: u64) {
+    *digest ^= word;
+    *digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+}
+
+fn answer_digest(server: &Server, query: &Query) -> u64 {
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    let mut preds = |ps: &[Prediction]| {
+        for p in ps {
+            fold(&mut digest, p.node);
+            fold(&mut digest, p.score.to_bits() as u64);
+        }
+    };
+    match query {
+        Query::Pairwise(triples) => {
+            for s in server.score_pairs(triples).expect("pairwise") {
+                fold(&mut digest, s.to_bits() as u64);
+            }
+        }
+        Query::TopK(src, rel) => preds(&server.top_k(*src, *rel, 10).expect("top_k")),
+        Query::Knn(node) => preds(&server.knn(*node, 10).expect("knn")),
+    }
+    digest
+}
+
+struct RunStats {
+    p50_us: f64,
+    p99_us: f64,
+    qps: f64,
+    digest: u64,
+}
+
+/// Answers every query on `threads` workers sharing `server` (query `i` goes
+/// to worker `i % threads`), then folds the per-query digests in query order
+/// so the run digest is thread-count invariant.
+fn run(server: &Server, queries: &[Query], threads: usize) -> RunStats {
+    let digests: Mutex<Vec<u64>> = Mutex::new(vec![0; queries.len()]);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(queries.len()));
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (digests, latencies) = (&digests, &latencies);
+            scope.spawn(move || {
+                let mut mine_digests = Vec::new();
+                let mut mine_lat = Vec::new();
+                for (i, query) in queries.iter().enumerate() {
+                    if i % threads != t {
+                        continue;
+                    }
+                    let started = Instant::now();
+                    let digest = answer_digest(server, query);
+                    mine_lat.push(started.elapsed().as_nanos() as u64);
+                    mine_digests.push((i, digest));
+                }
+                let mut all = digests.lock().unwrap();
+                for (i, digest) in mine_digests {
+                    all[i] = digest;
+                }
+                latencies.lock().unwrap().extend(mine_lat);
+            });
+        }
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+    let mut latencies = latencies.into_inner().unwrap();
+    latencies.sort_unstable();
+    let pct = |p: usize| latencies[(latencies.len() * p / 100).min(latencies.len() - 1)];
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    for d in digests.into_inner().unwrap() {
+        fold(&mut digest, d);
+    }
+    RunStats {
+        p50_us: pct(50) as f64 / 1e3,
+        p99_us: pct(99) as f64 / 1e3,
+        qps: queries.len() as f64 / elapsed,
+        digest,
+    }
+}
+
+fn main() {
+    header("Serving QPS: zipfian query mix, in-memory vs out-of-core read cache");
+    let (scale, num_queries, thread_counts): (f64, usize, &[usize]) = if smoke() {
+        (0.04, 200, &[1, 4])
+    } else {
+        (0.2, 2000, &[1, 2, 4, 8])
+    };
+
+    // One tiny out-of-core DistMult training run produces the checkpoint
+    // every serving configuration reopens.
+    let spec = DatasetSpec::fb15k_237().scaled(scale);
+    let data = ScaledDataset::generate(&spec, 42);
+    let mut train = TrainConfig::quick(if smoke() { 1 } else { 2 }, 42);
+    train.batch_size = 512;
+    train.num_negatives = 32;
+    let ckpt_dir: PathBuf =
+        std::env::temp_dir().join(format!("marius-serve-qps-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let disk = DiskConfig::comet(16, 4);
+    let trainer: Trainer<LinkPredictionTask> =
+        Trainer::new(ModelConfig::paper_distmult(16), train).with_checkpoint(&ckpt_dir, 1);
+    trainer.train_disk(&data, &disk).expect("training");
+    println!(
+        "checkpoint: {} nodes, {} relations, dim 16, 16 partitions on disk\n",
+        data.num_nodes(),
+        spec.num_relations
+    );
+
+    let queries = make_queries(num_queries, data.num_nodes(), spec.num_relations);
+
+    // The oracle pins the expected digest: single thread, whole table in
+    // memory, no cache in the path.
+    let oracle_server = Server::from_checkpoint(&ckpt_dir).expect("oracle server");
+    let oracle = run(&oracle_server, &queries, 1);
+    println!(
+        "oracle (in-memory, 1 thread): digest {:016x}, p50 {:.1} us\n",
+        oracle.digest, oracle.p50_us
+    );
+
+    // A budget of ~one third of the table keeps the hot head resident and
+    // forces the zipf tail through the read-through path.
+    let table_bytes = data.num_nodes() * 16 * 4;
+    let budget = table_bytes / 3;
+    let modes: [(&str, ServeConfig); 2] = [
+        ("in_memory", ServeConfig::in_memory()),
+        ("read_cache", ServeConfig::read_cache(budget)),
+    ];
+
+    println!(
+        "{:<11} {:>7} {:>9} {:>9} {:>9} {:>6}",
+        "mode", "threads", "p50_us", "p99_us", "qps", "exact"
+    );
+    let mut rows = Vec::new();
+    for (label, config) in modes {
+        let server = Server::from_checkpoint_with(&ckpt_dir, config.clone()).expect("server");
+        if let Some(admitted) = server.cache_admitted_partitions() {
+            println!(
+                "[{label}: cache admits {admitted} partitions, {} of {} bytes]",
+                server.cache_admitted_bytes().unwrap_or(0),
+                budget
+            );
+        }
+        for &threads in thread_counts {
+            let stats = run(&server, &queries, threads);
+            let exact = stats.digest == oracle.digest;
+            println!(
+                "{label:<11} {threads:>7} {:>9.1} {:>9.1} {:>9.0} {exact:>6}",
+                stats.p50_us, stats.p99_us, stats.qps
+            );
+            assert!(
+                exact,
+                "{label} at {threads} threads diverged from the oracle digest"
+            );
+            rows.push(format!(
+                "{{\"mode\":\"{label}\",\"threads\":{threads},\"queries\":{num_queries},\
+                 \"p50_us\":{:.3},\"p99_us\":{:.3},\"qps\":{:.1},\"bit_identical\":{exact}}}",
+                stats.p50_us, stats.p99_us, stats.qps
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\"bench\":\"serve_qps\",\"oracle_digest\":\"{:016x}\",\"runs\":[{}]}}",
+        oracle.digest,
+        rows.join(",")
+    );
+    match std::fs::write("BENCH_serve_qps.json", json) {
+        Ok(()) => println!("\nwrote BENCH_serve_qps.json ({} runs)", rows.len()),
+        Err(e) => eprintln!("warning: could not write BENCH_serve_qps.json: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}

@@ -57,6 +57,6 @@ pub use models::{
 pub use report::{EpochReport, ExperimentReport};
 pub use source::{FixedFeatureSource, RepresentationSource, TableSource};
 pub use task::{DiskSetup, LinkPredictionTask, NodeClassificationTask, Task};
-pub use trainer::{EpochHook, Trainer};
+pub use trainer::{read_all_embeddings, EpochHook, Trainer};
 #[allow(deprecated)]
 pub use trainer::{LinkPredictionTrainer, NodeClassificationTrainer};

@@ -69,14 +69,15 @@ const EXAMPLE_ORDER_BLOB: &str = "trainer.example_order";
 
 /// Reads every node partition back from disk and assembles a flat
 /// `num_nodes × dim` embedding buffer indexed by global node id. Used to run
-/// full-graph evaluation after a disk-based training epoch.
+/// full-graph evaluation after a disk-based training epoch, and by the
+/// serving layer to materialise a checkpoint's partition snapshot in memory.
 ///
 /// Rows are copied one maximal run of consecutive node ids at a time: for the
 /// common case where a partition's nodes are contiguous (e.g. the §5.2
 /// training-nodes-first layout) the whole partition lands in one
 /// `copy_from_slice`, and arbitrary mixed layouts degrade gracefully to
 /// per-run copies.
-pub(crate) fn read_all_embeddings(
+pub fn read_all_embeddings(
     store: &PartitionStore,
     assignment: &PartitionAssignment,
     dim: usize,

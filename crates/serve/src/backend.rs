@@ -1,0 +1,106 @@
+//! Embedding backends: where a server's node representations come from.
+//!
+//! Both backends serve the *same bytes* for the same node — the in-memory
+//! backend materialises the whole table up front, the out-of-core backend
+//! pages partitions through [`ReadCache`] — so switching backends can never
+//! change a query result, only its latency profile.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use marius_graph::{NodeId, PartitionAssignment, PartitionId};
+use marius_storage::{PartitionStore, Result, StorageError};
+use marius_tensor::Tensor;
+
+use crate::cache::ReadCache;
+
+// One Backend exists per Server and lives on the heap-heavy side anyway, so
+// the variant size gap has no cost worth an indirection.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum Backend {
+    /// The full `num_nodes × dim` table resident in memory.
+    InMemory { flat: Vec<f32> },
+    /// A shared immutable partition-store view behind the read cache.
+    OutOfCore {
+        store: PartitionStore,
+        assignment: PartitionAssignment,
+        /// `node id → (partition, row within the partition block)`, so a
+        /// gather is one cache fetch plus one row copy per node.
+        node_location: Vec<(PartitionId, u32)>,
+        cache: ReadCache,
+    },
+}
+
+impl Backend {
+    pub(crate) fn in_memory(flat: Vec<f32>) -> Self {
+        Backend::InMemory { flat }
+    }
+
+    pub(crate) fn out_of_core(
+        store: PartitionStore,
+        assignment: PartitionAssignment,
+        cache: ReadCache,
+    ) -> Self {
+        let mut node_location = vec![(0u32, 0u32); assignment.num_nodes() as usize];
+        for p in 0..assignment.num_partitions() {
+            for (i, &node) in assignment.nodes_in(p).iter().enumerate() {
+                node_location[node as usize] = (p, i as u32);
+            }
+        }
+        Backend::OutOfCore {
+            store,
+            assignment,
+            node_location,
+            cache,
+        }
+    }
+
+    pub(crate) fn cache(&self) -> Option<&ReadCache> {
+        match self {
+            Backend::InMemory { .. } => None,
+            Backend::OutOfCore { cache, .. } => Some(cache),
+        }
+    }
+
+    /// Gathers `nodes` into a `(len, dim)` tensor. Out of core, each distinct
+    /// partition is fetched once per gather (one hit/miss/bypass outcome per
+    /// touched partition), then rows are copied out of the shared blocks.
+    pub(crate) fn gather(&self, nodes: &[NodeId], num_nodes: u64, dim: usize) -> Result<Tensor> {
+        if let Some(&bad) = nodes.iter().find(|&&n| n >= num_nodes) {
+            return Err(StorageError::InvalidPlan {
+                reason: format!("query node {bad} is out of range (graph has {num_nodes} nodes)"),
+            });
+        }
+        let mut out = Tensor::zeros(nodes.len(), dim);
+        match self {
+            Backend::InMemory { flat } => {
+                for (i, &node) in nodes.iter().enumerate() {
+                    let start = node as usize * dim;
+                    out.row_mut(i).copy_from_slice(&flat[start..start + dim]);
+                }
+            }
+            Backend::OutOfCore {
+                store,
+                assignment,
+                node_location,
+                cache,
+            } => {
+                let mut resident: HashMap<PartitionId, Arc<Vec<f32>>> = HashMap::new();
+                for (i, &node) in nodes.iter().enumerate() {
+                    let (p, row) = node_location[node as usize];
+                    let block = match resident.get(&p) {
+                        Some(block) => block,
+                        None => {
+                            let rows = assignment.nodes_in(p).len();
+                            let block = cache.fetch(store, p, rows, dim)?;
+                            resident.entry(p).or_insert(block)
+                        }
+                    };
+                    let start = row as usize * dim;
+                    out.row_mut(i).copy_from_slice(&block[start..start + dim]);
+                }
+            }
+        }
+        Ok(out)
+    }
+}

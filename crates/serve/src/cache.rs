@@ -1,0 +1,204 @@
+//! The byte-budgeted hot-partition read cache behind out-of-core serving.
+//!
+//! Admission control reuses the training-side replacement-policy machinery:
+//! the checkpoint's COMET/BETA policy is asked for an epoch plan, and the
+//! partitions it would schedule most often (its hot set under the training
+//! workload) are the only ones the cache agrees to hold. Partitions are
+//! admitted in heat order while they fit the byte budget, so the cache can
+//! never exceed its budget and never needs to evict — cold partitions are
+//! read through on every touch instead. Every outcome records `server.cache.*`
+//! telemetry.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use marius_graph::PartitionId;
+use marius_storage::{PartitionStore, Result, StorageError};
+use marius_telemetry::{Counter, Telemetry};
+
+/// Shared read cache over a checkpoint's immutable partition snapshot.
+pub(crate) struct ReadCache {
+    /// Per-partition admission flag, fixed at construction.
+    admitted: Vec<bool>,
+    /// Resident value blocks for admitted partitions, filled on first touch.
+    slots: RwLock<HashMap<PartitionId, Arc<Vec<f32>>>>,
+    /// Bytes the admitted set occupies once fully resident.
+    admitted_bytes: u64,
+    budget_bytes: u64,
+    hits: Counter,
+    misses: Counter,
+    bypasses: Counter,
+}
+
+impl ReadCache {
+    /// Builds the cache by admitting partitions in `heat_order` (hottest
+    /// first) while their value blocks fit in `budget_bytes`. At least one
+    /// partition is always admitted so a tiny budget still caches something.
+    pub(crate) fn new(
+        heat_order: &[PartitionId],
+        partition_rows: &[usize],
+        dim: usize,
+        budget_bytes: u64,
+        telemetry: &Telemetry,
+    ) -> Self {
+        let mut admitted = vec![false; partition_rows.len()];
+        let mut admitted_bytes = 0u64;
+        for (rank, &p) in heat_order.iter().enumerate() {
+            let bytes = (partition_rows[p as usize] * dim * std::mem::size_of::<f32>()) as u64;
+            if rank > 0 && admitted_bytes + bytes > budget_bytes {
+                continue;
+            }
+            admitted[p as usize] = true;
+            admitted_bytes += bytes;
+        }
+        telemetry
+            .gauge("server.cache.budget_bytes")
+            .set(budget_bytes.min(i64::MAX as u64) as i64);
+        telemetry
+            .gauge("server.cache.admitted_bytes")
+            .set(admitted_bytes.min(i64::MAX as u64) as i64);
+        telemetry
+            .gauge("server.cache.admitted_partitions")
+            .set(admitted.iter().filter(|&&a| a).count() as i64);
+        ReadCache {
+            admitted,
+            slots: RwLock::new(HashMap::new()),
+            admitted_bytes,
+            budget_bytes,
+            hits: telemetry.counter("server.cache.hit"),
+            misses: telemetry.counter("server.cache.miss"),
+            bypasses: telemetry.counter("server.cache.bypass"),
+        }
+    }
+
+    /// Fetches partition `p`'s value block, through the cache when `p` is
+    /// admitted. `expected_rows` cross-checks the file against the replayed
+    /// partition assignment, so a truncated or mismatched snapshot surfaces
+    /// as a typed error instead of silently serving wrong embeddings.
+    pub(crate) fn fetch(
+        &self,
+        store: &PartitionStore,
+        p: PartitionId,
+        expected_rows: usize,
+        dim: usize,
+    ) -> Result<Arc<Vec<f32>>> {
+        if !self.admitted[p as usize] {
+            self.bypasses.incr();
+            return Ok(Arc::new(read_values(store, p, expected_rows, dim)?));
+        }
+        if let Some(block) = self.slots.read().unwrap_or_else(|e| e.into_inner()).get(&p) {
+            self.hits.incr();
+            return Ok(Arc::clone(block));
+        }
+        // Miss: read outside any lock, then insert. Two threads racing on the
+        // same cold partition both read and both count a miss; the first
+        // insert wins and the blocks are identical bytes either way.
+        self.misses.incr();
+        let block = Arc::new(read_values(store, p, expected_rows, dim)?);
+        let mut slots = self.slots.write().unwrap_or_else(|e| e.into_inner());
+        Ok(Arc::clone(slots.entry(p).or_insert(block)))
+    }
+
+    /// Number of partitions the admission set holds.
+    pub(crate) fn admitted_partitions(&self) -> usize {
+        self.admitted.iter().filter(|&&a| a).count()
+    }
+
+    /// Bytes the admitted set occupies once fully resident (always within
+    /// the budget).
+    pub(crate) fn admitted_bytes(&self) -> u64 {
+        self.admitted_bytes
+    }
+
+    /// The configured byte budget.
+    pub(crate) fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+}
+
+fn read_values(
+    store: &PartitionStore,
+    p: PartitionId,
+    expected_rows: usize,
+    dim: usize,
+) -> Result<Vec<f32>> {
+    let (values, _state) = store.read_partition(p)?;
+    if values.len() != expected_rows * dim {
+        return Err(StorageError::checkpoint(format!(
+            "partition {p} holds {} values but the replayed assignment expects {} rows × {dim}",
+            values.len(),
+            expected_rows
+        )));
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marius_telemetry::Telemetry;
+
+    fn store_with_partitions(rows: &[usize], dim: usize) -> PartitionStore {
+        let store = PartitionStore::open_temp("serve-cache-test").unwrap();
+        for (p, &n) in rows.iter().enumerate() {
+            let values: Vec<f32> = (0..n * dim).map(|i| (p * 1000 + i) as f32).collect();
+            let state = vec![0.0f32; n * dim];
+            store
+                .write_partition(p as PartitionId, &values, &state)
+                .unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn admission_respects_the_byte_budget() {
+        let telemetry = Telemetry::enabled();
+        let rows = [4usize, 4, 4, 4];
+        let dim = 2;
+        // One partition = 4 rows × 2 dims × 4 bytes = 32 bytes; budget fits two.
+        let cache = ReadCache::new(&[2, 0, 3, 1], &rows, dim, 64, &telemetry);
+        assert_eq!(cache.admitted_partitions(), 2);
+        assert!(cache.admitted_bytes() <= cache.budget_bytes());
+        assert!(cache.admitted[2] && cache.admitted[0]);
+        assert!(!cache.admitted[3] && !cache.admitted[1]);
+    }
+
+    #[test]
+    fn tiny_budget_still_admits_the_hottest_partition() {
+        let telemetry = Telemetry::disabled();
+        let cache = ReadCache::new(&[1, 0], &[8, 8], 4, 1, &telemetry);
+        assert_eq!(cache.admitted_partitions(), 1);
+        assert!(cache.admitted[1]);
+    }
+
+    #[test]
+    fn fetch_counts_miss_then_hits_and_bypasses_cold_partitions() {
+        let telemetry = Telemetry::enabled();
+        let dim = 2;
+        let rows = [3usize, 3];
+        let store = store_with_partitions(&rows, dim);
+        let cache = ReadCache::new(&[0, 1], &rows, dim, 24, &telemetry);
+        assert_eq!(cache.admitted_partitions(), 1);
+
+        let first = cache.fetch(&store, 0, 3, dim).unwrap();
+        let again = cache.fetch(&store, 0, 3, dim).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        let _cold = cache.fetch(&store, 1, 3, dim).unwrap();
+        let _cold = cache.fetch(&store, 1, 3, dim).unwrap();
+
+        let snap = telemetry.metrics_snapshot();
+        assert_eq!(snap.counter("server.cache.miss"), Some(1));
+        assert_eq!(snap.counter("server.cache.hit"), Some(1));
+        assert_eq!(snap.counter("server.cache.bypass"), Some(2));
+    }
+
+    #[test]
+    fn row_count_mismatch_surfaces_as_checkpoint_error() {
+        let telemetry = Telemetry::disabled();
+        let dim = 2;
+        let store = store_with_partitions(&[3], dim);
+        let cache = ReadCache::new(&[0], &[3], dim, 1024, &telemetry);
+        let err = cache.fetch(&store, 0, 5, dim).unwrap_err();
+        assert!(format!("{err}").contains("expects 5 rows"), "{err}");
+    }
+}

@@ -1,0 +1,622 @@
+//! `marius-serve` — concurrent link-prediction serving over checkpoints.
+//!
+//! Training ends at a durable checkpoint directory (`marius_core::checkpoint`);
+//! this crate is the read path that turns one into a queryable model. A
+//! [`Server`] loads the newest checkpoint version, rebuilds the DistMult
+//! decoder from the manifest's blobs, wires the base embeddings up to one of
+//! two backends, and then answers queries from any number of threads through
+//! `&self` methods:
+//!
+//! * [`Server::score_pairs`] — pairwise scoring of `(source, relation,
+//!   destination)` triples through the training decoder kernels,
+//! * [`Server::top_k`] / [`Server::top_k_among`] — top-k tail prediction
+//!   (`(source, relation, ?)`) over all nodes or a candidate list,
+//! * [`Server::knn`] — k-nearest-neighbour search over the embedding table
+//!   under dot-product similarity.
+//!
+//! # Backends and cache-policy reuse
+//!
+//! [`ServeMode::InMemory`] materialises the whole embedding table up front —
+//! from the checkpoint's table blob, or by reassembling its partition
+//! snapshot. [`ServeMode::ReadCache`] keeps the partition snapshot on disk
+//! behind a **byte-budgeted hot-partition read cache**: the checkpoint's own
+//! COMET/BETA replacement policy (`marius_storage::policy`) is asked for an
+//! epoch plan, partitions are ranked by how often that plan schedules them,
+//! and the hottest partitions are admitted until the byte budget is full.
+//! Admitted partitions are cached on first touch and stay resident (the cache
+//! never exceeds its budget, so nothing is ever evicted); cold partitions are
+//! read through on every access. Under the skewed query mixes serving
+//! actually sees (see [`workload::ZipfWorkload`]), this replays the paper's
+//! out-of-core buffer tradeoffs on the read path.
+//!
+//! # Consistency guarantees
+//!
+//! * **Thread-count invariance** — queries take `&self` over immutable state
+//!   and draw no RNG, so N threads over one shared `Server` return results
+//!   bit-identical to a single-threaded run of the same queries.
+//! * **Backend invariance** — both backends serve the same bytes for the same
+//!   node, so switching [`ServeMode`] can never change a result, only its
+//!   latency profile.
+//! * **Deterministic ranking** — top-k and k-NN order by score descending
+//!   with ties broken by ascending node id (under IEEE total order), so
+//!   result *sets and orders* are stable across runs, chunk sizes and
+//!   backends.
+//! * **Relocatability** — every path the loader touches is derived from the
+//!   checkpoint root it was handed, so a copied checkpoint directory serves
+//!   identically from its new location.
+//!
+//! Serving requires a decoder-only (DistMult) link-prediction checkpoint —
+//! the paper's Table 8 configuration, [`ModelConfig::paper_distmult`]
+//! (`marius_core::config`). Encoder-bearing checkpoints are rejected at load
+//! time: their stored rows are *base* representations that only become
+//! comparable after a stochastic multi-hop encoding pass, which has no
+//! deterministic serving semantics.
+//!
+//! All server internals record `server.*` telemetry through
+//! `marius_telemetry`: per-query spans, `server.cache.hit`/`miss`/`bypass`
+//! counters, and per-query-kind latency histograms (`server.latency_us.*`).
+//!
+//! [`ModelConfig::paper_distmult`]: marius_core::ModelConfig::paper_distmult
+
+mod backend;
+mod cache;
+pub mod workload;
+
+pub use workload::ZipfWorkload;
+
+use std::cmp::Ordering;
+use std::path::Path;
+use std::time::Instant;
+
+use marius_core::{
+    read_all_embeddings, Checkpoint, DiskConfig, EncoderKind, PolicyKind, StorageKind,
+};
+use marius_gnn::DistMult;
+use marius_graph::{NodeId, PartitionId, Partitioner, RelId};
+use marius_storage::policy::{BetaPolicy, CometPolicy, ReplacementPolicy};
+use marius_storage::{PartitionStore, Result, StorageError};
+use marius_telemetry::{Counter, Histogram, Telemetry, NO_LABEL};
+use marius_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use backend::Backend;
+use cache::ReadCache;
+
+/// Candidate nodes scored per decoder-kernel call when scanning the graph.
+const SCORE_CHUNK: usize = 1024;
+
+/// Salt mixed into the training seed for the cache-admission plan RNG, so the
+/// plan replay cannot collide with any training-side RNG stream.
+const HEAT_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Where the server keeps base embeddings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Materialise the whole embedding table in memory at load time.
+    InMemory,
+    /// Serve out of core from the checkpoint's partition snapshot, behind a
+    /// byte-budgeted hot-partition read cache (requires a disk checkpoint).
+    ReadCache {
+        /// Maximum bytes of partition values the cache may hold resident.
+        budget_bytes: u64,
+    },
+}
+
+/// Configuration for [`Server::from_checkpoint_with`].
+#[derive(Clone, Default)]
+pub struct ServeConfig {
+    mode: Option<ServeMode>,
+    telemetry: Telemetry,
+}
+
+impl ServeConfig {
+    /// Serve from a fully materialised in-memory table (the default).
+    pub fn in_memory() -> Self {
+        ServeConfig {
+            mode: Some(ServeMode::InMemory),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Serve out of core behind a read cache holding at most `budget_bytes`
+    /// of partition values.
+    pub fn read_cache(budget_bytes: u64) -> Self {
+        ServeConfig {
+            mode: Some(ServeMode::ReadCache { budget_bytes }),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a [`Telemetry`] recorder: per-query spans, cache counters and
+    /// latency histograms record into the cloned handle. Recording reads only
+    /// monotonic clocks, so query results are unaffected.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+}
+
+/// One ranked query answer: a node and its score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// The predicted node.
+    pub node: NodeId,
+    /// Its score (DistMult score for top-k, dot-product similarity for k-NN).
+    pub score: f32,
+}
+
+/// Deterministic ranking: score descending (IEEE total order), then node id
+/// ascending. The tie-break makes top-k/k-NN results independent of chunking
+/// and thread count even when distinct nodes score exactly equal.
+fn rank_order(a: &Prediction, b: &Prediction) -> Ordering {
+    b.score
+        .total_cmp(&a.score)
+        .then_with(|| a.node.cmp(&b.node))
+}
+
+/// Merges `fresh` candidates into the running `best` list, keeping the `k`
+/// highest under [`rank_order`].
+fn merge_top_k(best: &mut Vec<Prediction>, fresh: impl IntoIterator<Item = Prediction>, k: usize) {
+    best.extend(fresh);
+    best.sort_unstable_by(rank_order);
+    best.truncate(k);
+}
+
+/// A read-only serving handle over one loaded checkpoint. Shareable across
+/// threads (`Server: Send + Sync`); all query methods take `&self`.
+pub struct Server {
+    decoder: DistMult,
+    backend: Backend,
+    dim: usize,
+    num_nodes: u64,
+    num_relations: usize,
+    telemetry: Telemetry,
+    q_pairwise: Counter,
+    q_topk: Counter,
+    q_knn: Counter,
+    lat_pairwise: Histogram,
+    lat_topk: Histogram,
+    lat_knn: Histogram,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("num_nodes", &self.num_nodes)
+            .field("num_relations", &self.num_relations)
+            .field("dim", &self.dim)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Opens the newest checkpoint under `root` and serves it from memory
+    /// with telemetry disabled. See [`Server::from_checkpoint_with`].
+    pub fn from_checkpoint(root: impl AsRef<Path>) -> Result<Self> {
+        Self::from_checkpoint_with(root, ServeConfig::in_memory())
+    }
+
+    /// Opens the newest checkpoint under `root` (the directory passed to
+    /// `checkpoint_to` during training), rebuilds the DistMult decoder
+    /// read-only from the manifest's blobs, and wires up the embedding
+    /// backend selected by `config`.
+    ///
+    /// Fails with a typed [`StorageError`] when the checkpoint was written by
+    /// a different task, carries an encoder (see the crate docs), or lacks
+    /// the partition snapshot a [`ServeMode::ReadCache`] needs.
+    pub fn from_checkpoint_with(root: impl AsRef<Path>, config: ServeConfig) -> Result<Self> {
+        let ckpt = Checkpoint::open(root)?;
+        if ckpt.task_slug != "lp" {
+            return Err(StorageError::checkpoint(format!(
+                "serving requires a link-prediction checkpoint, found task {:?}",
+                ckpt.task_slug
+            )));
+        }
+        if ckpt.model.encoder != EncoderKind::None || ckpt.model.num_layers != 0 {
+            return Err(StorageError::checkpoint(
+                "serving requires a decoder-only (DistMult) checkpoint: encoder-bearing \
+                 models have no deterministic serving semantics (see marius_serve docs)",
+            ));
+        }
+        let dim = ckpt.model.output_dim;
+        let telemetry = config.telemetry;
+
+        // Rebuild the decoder: allocate with any seed, then overlay the
+        // checkpointed relation embeddings bit-for-bit.
+        let rel_blob = ckpt
+            .state
+            .get("model.decoder.relations.value")
+            .ok_or_else(|| {
+                StorageError::checkpoint(
+                    "checkpoint carries no DistMult relation blob (model.decoder.relations.value)",
+                )
+            })?;
+        let (num_relations, rel_dim) = rel_blob.shape();
+        if rel_dim != dim {
+            return Err(StorageError::checkpoint(format!(
+                "relation blob dimension {rel_dim} does not match the model dimension {dim}"
+            )));
+        }
+        let rel_values = rel_blob.as_f32()?;
+        let mut decoder = DistMult::new(num_relations, dim, &mut StdRng::seed_from_u64(0));
+        decoder.relation_param_mut().value = Tensor::from_vec(rel_values, num_relations, dim);
+
+        let num_nodes = ckpt.dataset_spec.num_nodes;
+        let mode = config.mode.unwrap_or(ServeMode::InMemory);
+        let backend = match &ckpt.storage {
+            StorageKind::InMemory => match mode {
+                ServeMode::InMemory => {
+                    let flat =
+                        ckpt.state
+                            .require_f32("source.table.values", num_nodes as usize, dim)?;
+                    Backend::in_memory(flat)
+                }
+                ServeMode::ReadCache { .. } => {
+                    return Err(StorageError::checkpoint(
+                        "read-cache serving needs an out-of-core checkpoint with a partition \
+                         snapshot; this checkpoint trained in memory",
+                    ))
+                }
+            },
+            StorageKind::Disk(disk) => {
+                if !ckpt.has_store_snapshot {
+                    return Err(StorageError::checkpoint(
+                        "checkpoint carries no partition snapshot to serve from",
+                    ));
+                }
+                // Replay the partition assignment exactly as training derived
+                // it: the assignment draw is the trainer RNG's first use, so
+                // seeding with the training seed and replaying that prefix
+                // recovers the node → partition map without reading the graph.
+                let mut rng = StdRng::seed_from_u64(ckpt.train.seed);
+                let assignment = Partitioner::new(disk.num_partitions)
+                    .map_err(|e| StorageError::InvalidPlan {
+                        reason: format!("cannot replay the partition assignment: {e}"),
+                    })?
+                    .random(num_nodes, &mut rng);
+                let store =
+                    PartitionStore::open(ckpt.dir.join("partitions"))?.with_telemetry(&telemetry);
+                match mode {
+                    ServeMode::InMemory => {
+                        let flat = read_all_embeddings(&store, &assignment, dim)?;
+                        Backend::in_memory(flat)
+                    }
+                    ServeMode::ReadCache { budget_bytes } => {
+                        let heat = heat_order(
+                            disk,
+                            &mut StdRng::seed_from_u64(ckpt.train.seed ^ HEAT_SEED_SALT),
+                        )?;
+                        let rows: Vec<usize> = assignment.partition_sizes();
+                        let cache = ReadCache::new(&heat, &rows, dim, budget_bytes, &telemetry);
+                        Backend::out_of_core(store, assignment, cache)
+                    }
+                }
+            }
+        };
+
+        let latency_bounds: Vec<u64> = (0..=20).map(|e| 1u64 << e).collect();
+        Ok(Server {
+            decoder,
+            backend,
+            dim,
+            num_nodes,
+            num_relations,
+            q_pairwise: telemetry.counter("server.queries.pairwise"),
+            q_topk: telemetry.counter("server.queries.topk"),
+            q_knn: telemetry.counter("server.queries.knn"),
+            lat_pairwise: telemetry.histogram("server.latency_us.pairwise", &latency_bounds),
+            lat_topk: telemetry.histogram("server.latency_us.topk", &latency_bounds),
+            lat_knn: telemetry.histogram("server.latency_us.knn", &latency_bounds),
+            telemetry,
+        })
+    }
+
+    /// Number of nodes in the served graph.
+    pub fn num_nodes(&self) -> u64 {
+        self.num_nodes
+    }
+
+    /// Number of relation types the decoder knows.
+    pub fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The telemetry recorder queries report into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Number of partitions the read cache admits, when serving out of core.
+    pub fn cache_admitted_partitions(&self) -> Option<usize> {
+        self.backend.cache().map(ReadCache::admitted_partitions)
+    }
+
+    /// Bytes the read cache's admitted set occupies once resident, when
+    /// serving out of core (always within the configured budget).
+    pub fn cache_admitted_bytes(&self) -> Option<u64> {
+        self.backend.cache().map(ReadCache::admitted_bytes)
+    }
+
+    /// The read cache's configured byte budget, when serving out of core.
+    pub fn cache_budget_bytes(&self) -> Option<u64> {
+        self.backend.cache().map(ReadCache::budget_bytes)
+    }
+
+    /// Scores one `(source, relation, destination)` triple.
+    pub fn score(&self, src: NodeId, rel: RelId, dst: NodeId) -> Result<f32> {
+        Ok(self.score_pairs(&[(src, rel, dst)])?[0])
+    }
+
+    /// Scores a batch of triples through the training decoder kernel.
+    /// Relation ids wrap modulo the relation count, matching training.
+    pub fn score_pairs(&self, triples: &[(NodeId, RelId, NodeId)]) -> Result<Vec<f32>> {
+        let start = Instant::now();
+        let mut scope = self.telemetry.scope("server");
+        scope.begin("server.pairwise", triples.len() as i64, NO_LABEL);
+        let out = self.score_pairs_inner(triples);
+        scope.end();
+        self.q_pairwise.incr();
+        self.lat_pairwise.record(elapsed_us(start));
+        out
+    }
+
+    fn score_pairs_inner(&self, triples: &[(NodeId, RelId, NodeId)]) -> Result<Vec<f32>> {
+        if triples.is_empty() {
+            return Ok(Vec::new());
+        }
+        let srcs: Vec<NodeId> = triples.iter().map(|&(s, _, _)| s).collect();
+        let rels: Vec<RelId> = triples.iter().map(|&(_, r, _)| r).collect();
+        let dsts: Vec<NodeId> = triples.iter().map(|&(_, _, d)| d).collect();
+        let src_t = self.gather(&srcs)?;
+        let dst_t = self.gather(&dsts)?;
+        let scores = self.decoder.score_positive(&src_t, &rels, &dst_t);
+        Ok((0..triples.len()).map(|i| scores.get(i, 0)).collect())
+    }
+
+    /// Top-k tail prediction `(src, rel, ?)` over every node in the graph,
+    /// ranked score-descending with ties broken by ascending node id.
+    pub fn top_k(&self, src: NodeId, rel: RelId, k: usize) -> Result<Vec<Prediction>> {
+        self.top_k_query(src, rel, k, None)
+    }
+
+    /// Top-k tail prediction restricted to an explicit candidate list.
+    pub fn top_k_among(
+        &self,
+        src: NodeId,
+        rel: RelId,
+        k: usize,
+        candidates: &[NodeId],
+    ) -> Result<Vec<Prediction>> {
+        self.top_k_query(src, rel, k, Some(candidates))
+    }
+
+    fn top_k_query(
+        &self,
+        src: NodeId,
+        rel: RelId,
+        k: usize,
+        candidates: Option<&[NodeId]>,
+    ) -> Result<Vec<Prediction>> {
+        let start = Instant::now();
+        let mut scope = self.telemetry.scope("server");
+        scope.begin("server.topk", k as i64, NO_LABEL);
+        let out = self.top_k_inner(src, rel, k, candidates);
+        scope.end();
+        self.q_topk.incr();
+        self.lat_topk.record(elapsed_us(start));
+        out
+    }
+
+    fn top_k_inner(
+        &self,
+        src: NodeId,
+        rel: RelId,
+        k: usize,
+        candidates: Option<&[NodeId]>,
+    ) -> Result<Vec<Prediction>> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let src_t = self.gather(&[src])?;
+        let mut best: Vec<Prediction> = Vec::with_capacity(k + SCORE_CHUNK);
+        self.for_each_candidate_chunk(candidates, |chunk, server| {
+            let negs = server.gather(chunk)?;
+            let scores = server.decoder.score_negatives(&src_t, &[rel], &negs);
+            merge_top_k(
+                &mut best,
+                chunk.iter().enumerate().map(|(i, &node)| Prediction {
+                    node,
+                    score: scores.get(0, i),
+                }),
+                k,
+            );
+            Ok(())
+        })?;
+        Ok(best)
+    }
+
+    /// The `k` nearest neighbours of `node` in the embedding table under
+    /// dot-product similarity, excluding `node` itself; ranked
+    /// similarity-descending with ties broken by ascending node id.
+    pub fn knn(&self, node: NodeId, k: usize) -> Result<Vec<Prediction>> {
+        let start = Instant::now();
+        let mut scope = self.telemetry.scope("server");
+        scope.begin("server.knn", k as i64, NO_LABEL);
+        let out = self.knn_inner(node, k);
+        scope.end();
+        self.q_knn.incr();
+        self.lat_knn.record(elapsed_us(start));
+        out
+    }
+
+    fn knn_inner(&self, node: NodeId, k: usize) -> Result<Vec<Prediction>> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let query = self.gather(&[node])?.transpose(); // (dim, 1)
+        let mut best: Vec<Prediction> = Vec::with_capacity(k + SCORE_CHUNK);
+        self.for_each_candidate_chunk(None, |chunk, server| {
+            let rows = server.gather(chunk)?;
+            let sims = rows.matmul(&query); // (chunk, 1)
+            merge_top_k(
+                &mut best,
+                chunk
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &cand)| cand != node)
+                    .map(|(i, &cand)| Prediction {
+                        node: cand,
+                        score: sims.get(i, 0),
+                    }),
+                k,
+            );
+            Ok(())
+        })?;
+        Ok(best)
+    }
+
+    /// Runs `f` over the candidate set in [`SCORE_CHUNK`]-sized slices —
+    /// either the explicit list or every node id in order.
+    fn for_each_candidate_chunk(
+        &self,
+        candidates: Option<&[NodeId]>,
+        mut f: impl FnMut(&[NodeId], &Self) -> Result<()>,
+    ) -> Result<()> {
+        match candidates {
+            Some(list) => {
+                for chunk in list.chunks(SCORE_CHUNK) {
+                    f(chunk, self)?;
+                }
+            }
+            None => {
+                let mut start = 0u64;
+                while start < self.num_nodes {
+                    let end = (start + SCORE_CHUNK as u64).min(self.num_nodes);
+                    let chunk: Vec<NodeId> = (start..end).collect();
+                    f(&chunk, self)?;
+                    start = end;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn gather(&self, nodes: &[NodeId]) -> Result<Tensor> {
+        self.backend.gather(nodes, self.num_nodes, self.dim)
+    }
+}
+
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Ranks partitions hottest-first for cache admission by replaying the
+/// checkpoint's replacement policy: partitions a COMET/BETA epoch plan
+/// schedules in more sets (and earlier) are the ones training touched most,
+/// and a zipfian read mix over the same assignment concentrates there too.
+fn heat_order(disk: &DiskConfig, rng: &mut StdRng) -> Result<Vec<PartitionId>> {
+    let p = disk.num_partitions;
+    let plan = match disk.policy {
+        PolicyKind::Comet => {
+            if disk.num_logical == 0 {
+                CometPolicy::auto(p, disk.buffer_capacity).plan(p, rng)?
+            } else {
+                CometPolicy::new(disk.buffer_capacity, disk.num_logical).plan(p, rng)?
+            }
+        }
+        PolicyKind::Beta => BetaPolicy::new(disk.buffer_capacity).plan(p, rng)?,
+        PolicyKind::NodeCache => {
+            return Err(StorageError::checkpoint(
+                "node-cache checkpoints belong to node classification and cannot be served",
+            ))
+        }
+    };
+    let mut uses = vec![0usize; p as usize];
+    let mut first_seen = vec![usize::MAX; p as usize];
+    for (step, set) in plan.partition_sets.iter().enumerate() {
+        for &pid in set {
+            uses[pid as usize] += 1;
+            first_seen[pid as usize] = first_seen[pid as usize].min(step);
+        }
+    }
+    let mut order: Vec<PartitionId> = (0..p).collect();
+    order.sort_by_key(|&pid| {
+        (
+            usize::MAX - uses[pid as usize],
+            first_seen[pid as usize],
+            pid,
+        )
+    });
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_order_breaks_score_ties_by_node_id() {
+        let mut preds = [
+            Prediction {
+                node: 9,
+                score: 1.0,
+            },
+            Prediction {
+                node: 2,
+                score: 1.0,
+            },
+            Prediction {
+                node: 5,
+                score: 2.0,
+            },
+            Prediction {
+                node: 7,
+                score: 0.5,
+            },
+        ];
+        preds.sort_by(rank_order);
+        let ids: Vec<NodeId> = preds.iter().map(|p| p.node).collect();
+        assert_eq!(ids, vec![5, 2, 9, 7]);
+    }
+
+    #[test]
+    fn merge_top_k_is_chunking_invariant() {
+        let all: Vec<Prediction> = (0..100)
+            .map(|i| Prediction {
+                node: i,
+                score: ((i * 37) % 13) as f32,
+            })
+            .collect();
+        let mut one_shot = Vec::new();
+        merge_top_k(&mut one_shot, all.iter().copied(), 7);
+        let mut chunked = Vec::new();
+        for chunk in all.chunks(9) {
+            merge_top_k(&mut chunked, chunk.iter().copied(), 7);
+        }
+        assert_eq!(one_shot, chunked);
+    }
+
+    #[test]
+    fn heat_order_is_deterministic_and_complete() {
+        let disk = DiskConfig::comet(16, 4);
+        let a = heat_order(&disk, &mut StdRng::seed_from_u64(3)).unwrap();
+        let b = heat_order(&disk, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn node_cache_policy_is_rejected_for_serving() {
+        let disk = DiskConfig::node_cache(8, 4);
+        let err = heat_order(&disk, &mut StdRng::seed_from_u64(1)).unwrap_err();
+        assert!(format!("{err}").contains("node classification"), "{err}");
+    }
+}

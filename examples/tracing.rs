@@ -5,7 +5,7 @@
 //! The recorder rides along every layer — trainer epoch loop, the five
 //! pipeline stage threads and their bounded queues, the partition
 //! store/buffer — and reads only monotonic clocks, so the loss trajectory is
-//! bit-identical to an untraced run. Load `tracing_trace.json` in
+//! bit-identical to an untraced run. Load `target/tracing_trace.json` in
 //! `chrome://tracing` or <https://ui.perfetto.dev> to see one track per stage
 //! with step/partition-labelled spans.
 //!
@@ -41,9 +41,11 @@ fn main() -> marius::Result<()> {
     let report = session.train()?;
     println!("{}", report.to_table());
 
-    telemetry.write_chrome_trace("tracing_trace.json")?;
-    telemetry.write_metrics_json("tracing_metrics.json")?;
-    println!("wrote tracing_trace.json and tracing_metrics.json");
+    // Example artifacts belong under target/, not the repo root.
+    std::fs::create_dir_all("target")?;
+    telemetry.write_chrome_trace("target/tracing_trace.json")?;
+    telemetry.write_metrics_json("target/tracing_metrics.json")?;
+    println!("wrote target/tracing_trace.json and target/tracing_metrics.json");
 
     // Rank where the pipeline lost time: every *_stall/_wait counter in the
     // snapshot is nanoseconds a stage spent blocked rather than working.

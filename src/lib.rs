@@ -139,6 +139,45 @@
 //!
 //! See `marius_telemetry` for the event model and overhead guarantees.
 //!
+//! # Serving a trained model
+//!
+//! Checkpoints are not just for resuming: [`Server`] (from `marius-serve`)
+//! opens one read-only and answers link-prediction queries — pairwise
+//! scoring, top-k tail prediction, k-NN over embeddings — from any number of
+//! threads, bit-identically to a single-threaded run. Train, checkpoint,
+//! serve:
+//!
+//! ```no_run
+//! use marius::graph::datasets::{DatasetSpec, ScaledDataset};
+//! use marius::{ModelConfig, ServeConfig, Server, Session, Storage, TrainConfig};
+//!
+//! # fn main() -> marius::Result<()> {
+//! // Train a decoder-only DistMult model out of core and checkpoint it.
+//! let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.05), 42);
+//! let mut session = Session::builder()
+//!     .dataset(data)
+//!     .model(ModelConfig::paper_distmult(32))
+//!     .train(TrainConfig::quick(2, 42))
+//!     .storage(Storage::Disk(marius::DiskConfig::comet(16, 4)))
+//!     .checkpoint_to("run/checkpoints", 1)
+//!     .build()?;
+//! session.train()?;
+//!
+//! // Serve the checkpoint: in memory via `session.serve()`, or out of core
+//! // behind a byte-budgeted hot-partition read cache whose admission set
+//! // reuses the checkpoint's COMET/BETA policy machinery.
+//! let server = Server::from_checkpoint_with("run/checkpoints", ServeConfig::read_cache(1 << 20))?;
+//! let score = server.score(0, 3, 17)?;
+//! let tails = server.top_k(0, 3, 10)?;
+//! let similar = server.knn(0, 5)?;
+//! # let _ = (score, tails, similar);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `marius_serve` for the query API, cache-policy reuse and the
+//! consistency guarantees (thread-count, backend and chunking invariance).
+//!
 //! # Workspace map
 //!
 //! * [`tensor`] / [`gnn`] — dense kernels, layers, decoders, optimizers.
@@ -159,6 +198,7 @@ pub use marius_gnn as gnn;
 pub use marius_graph as graph;
 pub use marius_pipeline as pipeline;
 pub use marius_sampling as sampling;
+pub use marius_serve as serve;
 pub use marius_storage as storage;
 pub use marius_telemetry as telemetry;
 pub use marius_tensor as tensor;
@@ -172,6 +212,7 @@ pub use marius_core::{
 };
 #[allow(deprecated)]
 pub use marius_core::{LinkPredictionTrainer, NodeClassificationTrainer};
+pub use marius_serve::{Prediction, ServeConfig, ServeMode, Server, ZipfWorkload};
 pub use marius_storage::{
     FaultInjector, IoCostModel, IoFaultPlan, Result, RetryPolicy, StorageError,
 };
@@ -624,6 +665,28 @@ impl<T: Task> Session<T> {
     /// The underlying trainer (for advanced configuration inspection).
     pub fn trainer(&self) -> &Trainer<T> {
         &self.trainer
+    }
+
+    /// Opens a read-only [`Server`] over this session's checkpoint directory
+    /// (in-memory serving, telemetry disabled); requires
+    /// [`SessionBuilder::checkpoint_to`] and at least one completed
+    /// checkpointed epoch. Use [`Session::serve_with`] to pick the
+    /// out-of-core read-cache backend or attach telemetry.
+    pub fn serve(&self) -> Result<Server> {
+        self.serve_with(ServeConfig::in_memory())
+    }
+
+    /// Like [`Session::serve`], with an explicit [`ServeConfig`].
+    pub fn serve_with(&self, config: ServeConfig) -> Result<Server> {
+        let dir = self
+            .checkpoint_dir
+            .as_ref()
+            .ok_or_else(|| StorageError::InvalidPlan {
+                reason: "Session::serve requires a checkpoint directory \
+                         (SessionBuilder::checkpoint_to)"
+                    .into(),
+            })?;
+        Server::from_checkpoint_with(dir, config)
     }
 }
 
