@@ -22,6 +22,7 @@ use marius_core::{DiskConfig, LinkPredictionTask, ModelConfig, TrainConfig, Trai
 use marius_graph::datasets::{DatasetSpec, ScaledDataset};
 use marius_graph::{NodeId, RelId};
 use marius_serve::{Prediction, ServeConfig, Server, ZipfWorkload};
+use marius_storage::IoFaultPlan;
 
 fn smoke() -> bool {
     std::env::var("MARIUS_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
@@ -170,9 +171,16 @@ fn main() {
     // forces the zipf tail through the read-through path.
     let table_bytes = data.num_nodes() * 16 * 4;
     let budget = table_bytes / 3;
-    let modes: [(&str, ServeConfig); 2] = [
+    // The flaky leg prices fault absorption: same read cache, but the store
+    // rides a seeded flaky device (transient failures + latency spikes) that
+    // the default retry policy must absorb without touching the digest.
+    let modes: [(&str, ServeConfig); 3] = [
         ("in_memory", ServeConfig::in_memory()),
         ("read_cache", ServeConfig::read_cache(budget)),
+        (
+            "flaky_cache",
+            ServeConfig::read_cache(budget).with_fault_plan(IoFaultPlan::flaky(42)),
+        ),
     ];
 
     println!(
@@ -200,11 +208,23 @@ fn main() {
                 exact,
                 "{label} at {threads} threads diverged from the oracle digest"
             );
+            let health = server.health();
             rows.push(format!(
                 "{{\"mode\":\"{label}\",\"threads\":{threads},\"queries\":{num_queries},\
-                 \"p50_us\":{:.3},\"p99_us\":{:.3},\"qps\":{:.1},\"bit_identical\":{exact}}}",
-                stats.p50_us, stats.p99_us, stats.qps
+                 \"p50_us\":{:.3},\"p99_us\":{:.3},\"qps\":{:.1},\"bit_identical\":{exact},\
+                 \"store_retries\":{},\"faults_injected\":{}}}",
+                stats.p50_us, stats.p99_us, stats.qps, health.store_retries, health.faults_injected
             ));
+        }
+        if let Some(injector) = server.fault_injector() {
+            assert!(
+                injector.faults_injected() > 0,
+                "{label}: the flaky plan injected nothing"
+            );
+            println!(
+                "[{label}: absorbed {} injected faults across the sweep]",
+                injector.faults_injected()
+            );
         }
     }
 

@@ -62,6 +62,14 @@ impl Backend {
         }
     }
 
+    /// The backing partition store, when serving out of core.
+    pub(crate) fn store(&self) -> Option<&PartitionStore> {
+        match self {
+            Backend::InMemory { .. } => None,
+            Backend::OutOfCore { store, .. } => Some(store),
+        }
+    }
+
     /// Gathers `nodes` into a `(len, dim)` tensor. Out of core, each distinct
     /// partition is fetched once per gather (one hit/miss/bypass outcome per
     /// touched partition), then rows are copied out of the shared blocks.

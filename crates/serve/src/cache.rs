@@ -8,26 +8,50 @@
 //! never exceed its budget and never needs to evict — cold partitions are
 //! read through on every touch instead. Every outcome records `server.cache.*`
 //! telemetry.
+//!
+//! # Verified reads and the quarantine degraded mode
+//!
+//! Every block entering the cache is structurally verified against the
+//! replayed partition assignment
+//! ([`PartitionStore::read_partition_expect`]) and fingerprinted with
+//! [`marius_storage::partition_digest`]. Cache hits re-verify the fingerprint
+//! before handing the block out: a cached copy whose bits no longer match —
+//! memory corruption, a buggy in-place mutation — is **quarantined** (the slot
+//! is dropped and the partition permanently bypasses the cache) and the query
+//! transparently re-reads the verified bytes from disk instead of failing or,
+//! worse, serving corrupt embeddings. Quarantines count into
+//! `server.cache.quarantine` and are visible through `Server::health`.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
 use marius_graph::PartitionId;
-use marius_storage::{PartitionStore, Result, StorageError};
+use marius_storage::{partition_digest, PartitionStore, Result};
 use marius_telemetry::{Counter, Telemetry};
+
+/// A resident value block plus the fingerprint it carried at insertion.
+struct CachedBlock {
+    block: Arc<Vec<f32>>,
+    digest: u64,
+}
 
 /// Shared read cache over a checkpoint's immutable partition snapshot.
 pub(crate) struct ReadCache {
     /// Per-partition admission flag, fixed at construction.
     admitted: Vec<bool>,
-    /// Resident value blocks for admitted partitions, filled on first touch.
-    slots: RwLock<HashMap<PartitionId, Arc<Vec<f32>>>>,
+    /// Per-partition quarantine flag: set when a cached copy fails its
+    /// fingerprint check, after which the partition reads through forever.
+    quarantined: Vec<AtomicBool>,
+    /// Resident, fingerprinted value blocks for admitted partitions.
+    slots: RwLock<HashMap<PartitionId, CachedBlock>>,
     /// Bytes the admitted set occupies once fully resident.
     admitted_bytes: u64,
     budget_bytes: u64,
     hits: Counter,
     misses: Counter,
     bypasses: Counter,
+    quarantines: Counter,
 }
 
 impl ReadCache {
@@ -61,6 +85,7 @@ impl ReadCache {
             .gauge("server.cache.admitted_partitions")
             .set(admitted.iter().filter(|&&a| a).count() as i64);
         ReadCache {
+            quarantined: admitted.iter().map(|_| AtomicBool::new(false)).collect(),
             admitted,
             slots: RwLock::new(HashMap::new()),
             admitted_bytes,
@@ -68,13 +93,17 @@ impl ReadCache {
             hits: telemetry.counter("server.cache.hit"),
             misses: telemetry.counter("server.cache.miss"),
             bypasses: telemetry.counter("server.cache.bypass"),
+            quarantines: telemetry.counter("server.cache.quarantine"),
         }
     }
 
     /// Fetches partition `p`'s value block, through the cache when `p` is
-    /// admitted. `expected_rows` cross-checks the file against the replayed
-    /// partition assignment, so a truncated or mismatched snapshot surfaces
-    /// as a typed error instead of silently serving wrong embeddings.
+    /// admitted and not quarantined. `expected_rows` cross-checks the file
+    /// against the replayed partition assignment, so a truncated or
+    /// mismatched snapshot surfaces as a typed error instead of silently
+    /// serving wrong embeddings; cache hits additionally re-verify the
+    /// block's fingerprint, degrading to a quarantined read-through when the
+    /// cached copy has been corrupted (see the module docs).
     pub(crate) fn fetch(
         &self,
         store: &PartitionStore,
@@ -82,26 +111,58 @@ impl ReadCache {
         expected_rows: usize,
         dim: usize,
     ) -> Result<Arc<Vec<f32>>> {
-        if !self.admitted[p as usize] {
+        if !self.admitted[p as usize] || self.quarantined[p as usize].load(Ordering::Acquire) {
             self.bypasses.incr();
-            return Ok(Arc::new(read_values(store, p, expected_rows, dim)?));
+            return read_values(store, p, expected_rows, dim);
         }
-        if let Some(block) = self.slots.read().unwrap_or_else(|e| e.into_inner()).get(&p) {
-            self.hits.incr();
-            return Ok(Arc::clone(block));
+        if let Some((block, digest)) = {
+            let slots = self.slots.read().unwrap_or_else(|e| e.into_inner());
+            slots.get(&p).map(|c| (Arc::clone(&c.block), c.digest))
+        } {
+            if partition_digest(&block) == digest {
+                self.hits.incr();
+                return Ok(block);
+            }
+            // Degraded mode: the cached copy no longer matches the
+            // fingerprint it carried at insertion. Quarantine the partition
+            // (drop the slot, bypass the cache from now on) and serve this
+            // query from a fresh verified disk read.
+            self.quarantine(p);
+            return read_values(store, p, expected_rows, dim);
         }
-        // Miss: read outside any lock, then insert. Two threads racing on the
-        // same cold partition both read and both count a miss; the first
-        // insert wins and the blocks are identical bytes either way.
+        // Miss: read and verify outside any lock, then insert. Two threads
+        // racing on the same cold partition both read and both count a miss;
+        // the first insert wins and the blocks are identical bytes either way.
         self.misses.incr();
-        let block = Arc::new(read_values(store, p, expected_rows, dim)?);
+        let block = read_values(store, p, expected_rows, dim)?;
+        let digest = partition_digest(&block);
         let mut slots = self.slots.write().unwrap_or_else(|e| e.into_inner());
-        Ok(Arc::clone(slots.entry(p).or_insert(block)))
+        let cached = slots.entry(p).or_insert(CachedBlock { block, digest });
+        Ok(Arc::clone(&cached.block))
+    }
+
+    /// Marks `p` quarantined and drops its slot. Idempotent; counts once.
+    fn quarantine(&self, p: PartitionId) {
+        if !self.quarantined[p as usize].swap(true, Ordering::AcqRel) {
+            self.quarantines.incr();
+        }
+        self.slots
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&p);
     }
 
     /// Number of partitions the admission set holds.
     pub(crate) fn admitted_partitions(&self) -> usize {
         self.admitted.iter().filter(|&&a| a).count()
+    }
+
+    /// Number of partitions quarantined after failing fingerprint checks.
+    pub(crate) fn quarantined_partitions(&self) -> usize {
+        self.quarantined
+            .iter()
+            .filter(|q| q.load(Ordering::Acquire))
+            .count()
     }
 
     /// Bytes the admitted set occupies once fully resident (always within
@@ -114,6 +175,27 @@ impl ReadCache {
     pub(crate) fn budget_bytes(&self) -> u64 {
         self.budget_bytes
     }
+
+    /// Test hook: flips one bit of `p`'s cached copy in place, simulating
+    /// in-memory corruption of a resident block. Returns `false` when `p` has
+    /// no exclusively-owned cached slot to corrupt.
+    #[doc(hidden)]
+    pub(crate) fn debug_corrupt(&self, p: PartitionId) -> bool {
+        let mut slots = self.slots.write().unwrap_or_else(|e| e.into_inner());
+        let Some(cached) = slots.get_mut(&p) else {
+            return false;
+        };
+        let Some(values) = Arc::get_mut(&mut cached.block) else {
+            return false;
+        };
+        match values.first_mut() {
+            Some(v) => {
+                *v = f32::from_bits(v.to_bits() ^ 1);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 fn read_values(
@@ -121,16 +203,9 @@ fn read_values(
     p: PartitionId,
     expected_rows: usize,
     dim: usize,
-) -> Result<Vec<f32>> {
-    let (values, _state) = store.read_partition(p)?;
-    if values.len() != expected_rows * dim {
-        return Err(StorageError::checkpoint(format!(
-            "partition {p} holds {} values but the replayed assignment expects {} rows × {dim}",
-            values.len(),
-            expected_rows
-        )));
-    }
-    Ok(values)
+) -> Result<Arc<Vec<f32>>> {
+    let (values, _state) = store.read_partition_expect(p, expected_rows, dim)?;
+    Ok(Arc::new(values))
 }
 
 #[cfg(test)]
@@ -200,5 +275,34 @@ mod tests {
         let cache = ReadCache::new(&[0], &[3], dim, 1024, &telemetry);
         let err = cache.fetch(&store, 0, 5, dim).unwrap_err();
         assert!(format!("{err}").contains("expects 5 rows"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_cached_copy_quarantines_and_reads_through() {
+        let telemetry = Telemetry::enabled();
+        let dim = 2;
+        let rows = [3usize];
+        let store = store_with_partitions(&rows, dim);
+        let cache = ReadCache::new(&[0], &rows, dim, 1024, &telemetry);
+
+        let clean = cache.fetch(&store, 0, 3, dim).unwrap();
+        // Clone the bytes (not the Arc) so the cache's slot is the only
+        // remaining strong reference and debug_corrupt can mutate in place.
+        let expected: Vec<f32> = (*clean).clone();
+        drop(clean);
+        assert!(cache.debug_corrupt(0), "partition 0 should be resident");
+
+        // The corrupted hit degrades to a verified re-read: same bytes as the
+        // original block, quarantine recorded, and the partition bypasses the
+        // cache from now on.
+        let reread = cache.fetch(&store, 0, 3, dim).unwrap();
+        assert_eq!(*reread, *expected);
+        assert_eq!(cache.quarantined_partitions(), 1);
+        let after = cache.fetch(&store, 0, 3, dim).unwrap();
+        assert_eq!(*after, *expected);
+
+        let snap = telemetry.metrics_snapshot();
+        assert_eq!(snap.counter("server.cache.quarantine"), Some(1));
+        assert!(snap.counter("server.cache.bypass").unwrap_or(0) >= 1);
     }
 }

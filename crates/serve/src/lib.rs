@@ -29,6 +29,47 @@
 //! actually sees (see [`workload::ZipfWorkload`]), this replays the paper's
 //! out-of-core buffer tradeoffs on the read path.
 //!
+//! # Degradation modes & reload semantics
+//!
+//! The server honors the same robustness contract the trainer does: faults
+//! degrade service *predictably* — never into wrong answers — and every
+//! degraded state is typed and observable. From least to most severe:
+//!
+//! * **Transient device faults** are absorbed below the query: the backing
+//!   `PartitionStore` opens with [`RetryPolicy::default_transient`] (override
+//!   via [`ServeConfig::with_retry_policy`]) and a seeded
+//!   [`IoFaultPlan`]/[`FaultInjector`] can be attached for chaos testing. A
+//!   read that exhausts the store's retry budget is re-run whole-query up to
+//!   [`ServeConfig::with_query_retries`] times against a freshly pinned
+//!   snapshot; each absorbed exhaustion counts into `server.error.transient`.
+//!   Because queries draw no RNG, a retried query's answer is bit-identical
+//!   to a fault-free run's.
+//! * **Corrupted cached copies** enter the *quarantine* degraded mode: every
+//!   block entering the read cache is fingerprinted
+//!   (`marius_storage::partition_digest`) and re-verified on each hit. A
+//!   mismatch quarantines the partition — it permanently bypasses the cache
+//!   (`server.cache.quarantine`, [`Server::health`]) — and the query
+//!   transparently re-reads verified bytes from disk.
+//! * **Permanent faults** (dead device, corrupt snapshot) surface as a typed
+//!   [`ServeError::Permanent`] after counting into `server.error.permanent` —
+//!   never a panic.
+//! * **Overload** is handled by admission control: a bounded in-flight budget
+//!   ([`ServeConfig::with_max_in_flight`]) sheds excess queries with
+//!   [`ServeError::Overloaded`] (`server.shed`), and per-query deadlines
+//!   ([`ServeConfig::with_deadline`]) abandon stragglers between work chunks
+//!   with [`ServeError::DeadlineExceeded`] (`server.deadline_exceeded`).
+//!
+//! **Hot reload**: [`Server::reload`] atomically swaps in the newest
+//! `epoch-NNNNNN/` version behind an epoch-versioned handle. Every query pins
+//! the current snapshot (an `Arc`) for its whole run, so in-flight queries
+//! finish against the epoch they started on while new queries see the new
+//! one — each answer is wholly from one epoch, never torn across two. The
+//! checkpoint writer retains the previous version on disk, so a server
+//! serving epoch `N` stays valid while `N+1` is written and pruned into.
+//! [`Server::watch_checkpoints`] runs reload on a background poll loop
+//! (continuous train→checkpoint→serve); [`Server::health`] reports the
+//! current epoch plus all error/shed/reload counters for readiness probes.
+//!
 //! # Consistency guarantees
 //!
 //! * **Thread-count invariance** — queries take `&self` over immutable state
@@ -53,20 +94,29 @@
 //! deterministic serving semantics.
 //!
 //! All server internals record `server.*` telemetry through
-//! `marius_telemetry`: per-query spans, `server.cache.hit`/`miss`/`bypass`
-//! counters, and per-query-kind latency histograms (`server.latency_us.*`).
+//! `marius_telemetry`: per-query spans, `server.cache.hit`/`miss`/`bypass`/
+//! `quarantine` counters, `server.error.{transient,permanent}`,
+//! `server.shed`, `server.deadline_exceeded`, `server.reload.{count,epoch}`,
+//! and per-query-kind latency histograms (`server.latency_us.*`).
 //!
 //! [`ModelConfig::paper_distmult`]: marius_core::ModelConfig::paper_distmult
 
+mod admission;
 mod backend;
 mod cache;
+pub mod error;
+mod reload;
 pub mod workload;
 
+pub use error::{ServeError, ServeResult};
+pub use reload::CheckpointWatcher;
 pub use workload::ZipfWorkload;
 
 use std::cmp::Ordering;
-use std::path::Path;
-use std::time::Instant;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use marius_core::{
     read_all_embeddings, Checkpoint, DiskConfig, EncoderKind, PolicyKind, StorageKind,
@@ -74,14 +124,18 @@ use marius_core::{
 use marius_gnn::DistMult;
 use marius_graph::{NodeId, PartitionId, Partitioner, RelId};
 use marius_storage::policy::{BetaPolicy, CometPolicy, ReplacementPolicy};
-use marius_storage::{PartitionStore, Result, StorageError};
+use marius_storage::{
+    FaultInjector, IoFaultPlan, PartitionStore, Result, RetryPolicy, StorageError,
+};
 use marius_telemetry::{Counter, Histogram, Telemetry, NO_LABEL};
 use marius_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use admission::{Admission, QueryClock};
 use backend::Backend;
 use cache::ReadCache;
+use reload::SnapshotHandle;
 
 /// Candidate nodes scored per decoder-kernel call when scanning the graph.
 const SCORE_CHUNK: usize = 1024;
@@ -108,6 +162,11 @@ pub enum ServeMode {
 pub struct ServeConfig {
     mode: Option<ServeMode>,
     telemetry: Telemetry,
+    faults: Option<Arc<FaultInjector>>,
+    retry: Option<RetryPolicy>,
+    max_in_flight: Option<u64>,
+    deadline: Option<Duration>,
+    query_retries: Option<u32>,
 }
 
 impl ServeConfig {
@@ -115,7 +174,7 @@ impl ServeConfig {
     pub fn in_memory() -> Self {
         ServeConfig {
             mode: Some(ServeMode::InMemory),
-            telemetry: Telemetry::disabled(),
+            ..ServeConfig::default()
         }
     }
 
@@ -124,7 +183,7 @@ impl ServeConfig {
     pub fn read_cache(budget_bytes: u64) -> Self {
         ServeConfig {
             mode: Some(ServeMode::ReadCache { budget_bytes }),
-            telemetry: Telemetry::disabled(),
+            ..ServeConfig::default()
         }
     }
 
@@ -133,6 +192,56 @@ impl ServeConfig {
     /// monotonic clocks, so query results are unaffected.
     pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
         self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// Attaches a deterministic fault schedule to the backing store —
+    /// mirrors `Session::builder().fault_plan(..)` on the training side, so
+    /// chaos suites can replay the exact same injected-fault regimes against
+    /// the read path.
+    pub fn with_fault_plan(self, plan: IoFaultPlan) -> Self {
+        self.with_fault_injector(plan.build())
+    }
+
+    /// Attaches a shared, already-built [`FaultInjector`] handle (useful to
+    /// arm outages/permanent failures mid-run from the test driving it).
+    pub fn with_fault_injector(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Overrides the store-level retry policy for partition reads. The
+    /// default is [`RetryPolicy::default_transient`]; pass
+    /// [`RetryPolicy::no_retries`] to surface every transient fault to the
+    /// serve-level retry layer instead.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Bounds concurrently admitted queries: excess arrivals are shed with a
+    /// typed [`ServeError::Overloaded`] instead of queueing without bound.
+    /// Unbounded by default; a limit of 0 is clamped to 1.
+    pub fn with_max_in_flight(mut self, limit: u64) -> Self {
+        self.max_in_flight = Some(limit);
+        self
+    }
+
+    /// Sets a per-query deadline: a query that outlives it is abandoned at
+    /// the next work-chunk boundary with [`ServeError::DeadlineExceeded`].
+    /// No deadline by default.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// How many times a query whose storage reads exhausted the store-level
+    /// retry budget is re-run whole against a freshly pinned snapshot before
+    /// the transient error surfaces (default 1). Each absorbed exhaustion
+    /// counts into `server.error.transient`; answers stay bit-identical
+    /// because queries draw no RNG.
+    pub fn with_query_retries(mut self, retries: u32) -> Self {
+        self.query_retries = Some(retries);
         self
     }
 }
@@ -163,50 +272,189 @@ fn merge_top_k(best: &mut Vec<Prediction>, fresh: impl IntoIterator<Item = Predi
     best.truncate(k);
 }
 
-/// A read-only serving handle over one loaded checkpoint. Shareable across
-/// threads (`Server: Send + Sync`); all query methods take `&self`.
-pub struct Server {
+/// A point-in-time readiness/liveness snapshot of one [`Server`], from
+/// [`Server::health`]. All counters are monotonic since server construction
+/// and always on — they do not require an enabled [`Telemetry`] recorder.
+#[derive(Debug, Clone)]
+pub struct ServerHealth {
+    /// Epochs completed by the currently served checkpoint version.
+    pub epoch: usize,
+    /// Queries currently admitted and running.
+    pub in_flight: u64,
+    /// The in-flight budget, `None` when unbounded.
+    pub max_in_flight: Option<u64>,
+    /// The per-query deadline, if configured.
+    pub deadline: Option<Duration>,
+    /// Partitions the read cache admits (`None` when serving in memory).
+    pub cache_admitted_partitions: Option<usize>,
+    /// Partitions quarantined after failing fingerprint verification.
+    pub cache_quarantined_partitions: Option<usize>,
+    /// Transient errors observed at the serve layer (store retry budget
+    /// exhaustions, whether absorbed by a query retry or surfaced).
+    pub transient_errors: u64,
+    /// Permanent errors surfaced to callers.
+    pub permanent_errors: u64,
+    /// Queries shed by admission control.
+    pub shed: u64,
+    /// Queries abandoned past their deadline.
+    pub deadline_exceeded: u64,
+    /// Successful hot reloads ([`Server::reload`] swaps applied).
+    pub reloads: u64,
+    /// Reload attempts that failed (checkpoint mid-write, device fault).
+    pub reload_errors: u64,
+    /// Transient faults transparently retried inside the backing store for
+    /// the current snapshot (out-of-core only).
+    pub store_retries: u64,
+    /// Faults injected by the attached [`FaultInjector`], if any.
+    pub faults_injected: u64,
+}
+
+/// Always-on degradation counters (telemetry handles are no-ops when the
+/// recorder is disabled, so health reporting needs its own atomics).
+#[derive(Default)]
+struct ServerStats {
+    transient: AtomicU64,
+    permanent: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    reloads: AtomicU64,
+    reload_errors: AtomicU64,
+}
+
+/// One loaded checkpoint version: everything a query touches, pinned
+/// together so an answer is wholly from one epoch.
+pub(crate) struct Snapshot {
+    epoch: usize,
     decoder: DistMult,
     backend: Backend,
     dim: usize,
     num_nodes: u64,
     num_relations: usize,
+}
+
+impl Snapshot {
+    fn score_pairs(
+        &self,
+        triples: &[(NodeId, RelId, NodeId)],
+        clock: &QueryClock,
+    ) -> ServeResult<Vec<f32>> {
+        if triples.is_empty() {
+            return Ok(Vec::new());
+        }
+        clock.check()?;
+        let srcs: Vec<NodeId> = triples.iter().map(|&(s, _, _)| s).collect();
+        let rels: Vec<RelId> = triples.iter().map(|&(_, r, _)| r).collect();
+        let dsts: Vec<NodeId> = triples.iter().map(|&(_, _, d)| d).collect();
+        let src_t = self.gather(&srcs)?;
+        clock.check()?;
+        let dst_t = self.gather(&dsts)?;
+        let scores = self.decoder.score_positive(&src_t, &rels, &dst_t);
+        Ok((0..triples.len()).map(|i| scores.get(i, 0)).collect())
+    }
+
+    fn top_k(
+        &self,
+        src: NodeId,
+        rel: RelId,
+        k: usize,
+        candidates: Option<&[NodeId]>,
+        clock: &QueryClock,
+    ) -> ServeResult<Vec<Prediction>> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let src_t = self.gather(&[src])?;
+        let mut best: Vec<Prediction> = Vec::with_capacity(k + SCORE_CHUNK);
+        self.for_each_candidate_chunk(candidates, clock, |chunk, snap| {
+            let negs = snap.gather(chunk)?;
+            let scores = snap.decoder.score_negatives(&src_t, &[rel], &negs);
+            merge_top_k(
+                &mut best,
+                chunk.iter().enumerate().map(|(i, &node)| Prediction {
+                    node,
+                    score: scores.get(0, i),
+                }),
+                k,
+            );
+            Ok(())
+        })?;
+        Ok(best)
+    }
+
+    fn knn(&self, node: NodeId, k: usize, clock: &QueryClock) -> ServeResult<Vec<Prediction>> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let query = self.gather(&[node])?.transpose(); // (dim, 1)
+        let mut best: Vec<Prediction> = Vec::with_capacity(k + SCORE_CHUNK);
+        self.for_each_candidate_chunk(None, clock, |chunk, snap| {
+            let rows = snap.gather(chunk)?;
+            let sims = rows.matmul(&query); // (chunk, 1)
+            merge_top_k(
+                &mut best,
+                chunk
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &cand)| cand != node)
+                    .map(|(i, &cand)| Prediction {
+                        node: cand,
+                        score: sims.get(i, 0),
+                    }),
+                k,
+            );
+            Ok(())
+        })?;
+        Ok(best)
+    }
+
+    /// Runs `f` over the candidate set in [`SCORE_CHUNK`]-sized slices —
+    /// either the explicit list or every node id in order — checking the
+    /// deadline clock before each chunk.
+    fn for_each_candidate_chunk(
+        &self,
+        candidates: Option<&[NodeId]>,
+        clock: &QueryClock,
+        mut f: impl FnMut(&[NodeId], &Self) -> ServeResult<()>,
+    ) -> ServeResult<()> {
+        match candidates {
+            Some(list) => {
+                for chunk in list.chunks(SCORE_CHUNK) {
+                    clock.check()?;
+                    f(chunk, self)?;
+                }
+            }
+            None => {
+                let mut start = 0u64;
+                while start < self.num_nodes {
+                    clock.check()?;
+                    let end = (start + SCORE_CHUNK as u64).min(self.num_nodes);
+                    let chunk: Vec<NodeId> = (start..end).collect();
+                    f(&chunk, self)?;
+                    start = end;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn gather(&self, nodes: &[NodeId]) -> Result<Tensor> {
+        self.backend.gather(nodes, self.num_nodes, self.dim)
+    }
+}
+
+/// Everything needed to (re)load a snapshot from the checkpoint root —
+/// fixed at server construction so every reload opens the store with the
+/// same retry policy, fault schedule, and telemetry as the first load.
+struct LoadSpec {
+    root: PathBuf,
+    mode: ServeMode,
+    retry: RetryPolicy,
+    faults: Option<Arc<FaultInjector>>,
     telemetry: Telemetry,
-    q_pairwise: Counter,
-    q_topk: Counter,
-    q_knn: Counter,
-    lat_pairwise: Histogram,
-    lat_topk: Histogram,
-    lat_knn: Histogram,
 }
 
-impl std::fmt::Debug for Server {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Server")
-            .field("num_nodes", &self.num_nodes)
-            .field("num_relations", &self.num_relations)
-            .field("dim", &self.dim)
-            .finish_non_exhaustive()
-    }
-}
-
-impl Server {
-    /// Opens the newest checkpoint under `root` and serves it from memory
-    /// with telemetry disabled. See [`Server::from_checkpoint_with`].
-    pub fn from_checkpoint(root: impl AsRef<Path>) -> Result<Self> {
-        Self::from_checkpoint_with(root, ServeConfig::in_memory())
-    }
-
-    /// Opens the newest checkpoint under `root` (the directory passed to
-    /// `checkpoint_to` during training), rebuilds the DistMult decoder
-    /// read-only from the manifest's blobs, and wires up the embedding
-    /// backend selected by `config`.
-    ///
-    /// Fails with a typed [`StorageError`] when the checkpoint was written by
-    /// a different task, carries an encoder (see the crate docs), or lacks
-    /// the partition snapshot a [`ServeMode::ReadCache`] needs.
-    pub fn from_checkpoint_with(root: impl AsRef<Path>, config: ServeConfig) -> Result<Self> {
-        let ckpt = Checkpoint::open(root)?;
+impl LoadSpec {
+    fn load(&self) -> Result<Snapshot> {
+        let ckpt = Checkpoint::open(&self.root)?;
         if ckpt.task_slug != "lp" {
             return Err(StorageError::checkpoint(format!(
                 "serving requires a link-prediction checkpoint, found task {:?}",
@@ -220,7 +468,6 @@ impl Server {
             ));
         }
         let dim = ckpt.model.output_dim;
-        let telemetry = config.telemetry;
 
         // Rebuild the decoder: allocate with any seed, then overlay the
         // checkpointed relation embeddings bit-for-bit.
@@ -243,9 +490,8 @@ impl Server {
         decoder.relation_param_mut().value = Tensor::from_vec(rel_values, num_relations, dim);
 
         let num_nodes = ckpt.dataset_spec.num_nodes;
-        let mode = config.mode.unwrap_or(ServeMode::InMemory);
         let backend = match &ckpt.storage {
-            StorageKind::InMemory => match mode {
+            StorageKind::InMemory => match self.mode {
                 ServeMode::InMemory => {
                     let flat =
                         ckpt.state
@@ -275,9 +521,13 @@ impl Server {
                         reason: format!("cannot replay the partition assignment: {e}"),
                     })?
                     .random(num_nodes, &mut rng);
-                let store =
-                    PartitionStore::open(ckpt.dir.join("partitions"))?.with_telemetry(&telemetry);
-                match mode {
+                let mut store = PartitionStore::open(ckpt.dir.join("partitions"))?
+                    .with_telemetry(&self.telemetry)
+                    .with_retry_policy(self.retry);
+                if let Some(faults) = &self.faults {
+                    store = store.with_fault_injector(Arc::clone(faults));
+                }
+                match self.mode {
                     ServeMode::InMemory => {
                         let flat = read_all_embeddings(&store, &assignment, dim)?;
                         Backend::in_memory(flat)
@@ -288,20 +538,113 @@ impl Server {
                             &mut StdRng::seed_from_u64(ckpt.train.seed ^ HEAT_SEED_SALT),
                         )?;
                         let rows: Vec<usize> = assignment.partition_sizes();
-                        let cache = ReadCache::new(&heat, &rows, dim, budget_bytes, &telemetry);
+                        let cache =
+                            ReadCache::new(&heat, &rows, dim, budget_bytes, &self.telemetry);
                         Backend::out_of_core(store, assignment, cache)
                     }
                 }
             }
         };
 
-        let latency_bounds: Vec<u64> = (0..=20).map(|e| 1u64 << e).collect();
-        Ok(Server {
+        Ok(Snapshot {
+            epoch: ckpt.epochs_completed,
             decoder,
             backend,
             dim,
             num_nodes,
             num_relations,
+        })
+    }
+}
+
+/// Reads the `LATEST` pointer and parses its `epoch-NNNNNN` name, so a
+/// reload can no-op without the full (store-opening, blob-verifying) load.
+fn peek_latest_epoch(root: &Path) -> Option<usize> {
+    let name = std::fs::read_to_string(root.join("LATEST")).ok()?;
+    name.trim().strip_prefix("epoch-")?.parse().ok()
+}
+
+/// A read-only serving handle over one loaded checkpoint root. Shareable
+/// across threads (`Server: Send + Sync`); all query methods take `&self`.
+/// See the crate docs for degradation modes and hot-reload semantics.
+pub struct Server {
+    spec: LoadSpec,
+    snapshot: SnapshotHandle,
+    /// Serialises concurrent [`Server::reload`] calls (queries never block).
+    reload_lock: Mutex<()>,
+    admission: Admission,
+    query_retries: u32,
+    telemetry: Telemetry,
+    stats: ServerStats,
+    err_transient: Counter,
+    err_permanent: Counter,
+    deadline_count: Counter,
+    reload_count: Counter,
+    reload_errs: Counter,
+    q_pairwise: Counter,
+    q_topk: Counter,
+    q_knn: Counter,
+    lat_pairwise: Histogram,
+    lat_topk: Histogram,
+    lat_knn: Histogram,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot.load();
+        f.debug_struct("Server")
+            .field("epoch", &snap.epoch)
+            .field("num_nodes", &snap.num_nodes)
+            .field("num_relations", &snap.num_relations)
+            .field("dim", &snap.dim)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Opens the newest checkpoint under `root` and serves it from memory
+    /// with telemetry disabled. See [`Server::from_checkpoint_with`].
+    pub fn from_checkpoint(root: impl AsRef<Path>) -> Result<Self> {
+        Self::from_checkpoint_with(root, ServeConfig::in_memory())
+    }
+
+    /// Opens the newest checkpoint under `root` (the directory passed to
+    /// `checkpoint_to` during training), rebuilds the DistMult decoder
+    /// read-only from the manifest's blobs, and wires up the embedding
+    /// backend selected by `config`.
+    ///
+    /// The backing partition store always carries a retry policy
+    /// ([`RetryPolicy::default_transient`] unless overridden), so a single
+    /// transient read fault can never fail a query.
+    ///
+    /// Fails with a typed [`StorageError`] when the checkpoint was written by
+    /// a different task, carries an encoder (see the crate docs), or lacks
+    /// the partition snapshot a [`ServeMode::ReadCache`] needs.
+    pub fn from_checkpoint_with(root: impl AsRef<Path>, config: ServeConfig) -> Result<Self> {
+        let telemetry = config.telemetry.clone();
+        let spec = LoadSpec {
+            root: root.as_ref().to_path_buf(),
+            mode: config.mode.unwrap_or(ServeMode::InMemory),
+            retry: config.retry.unwrap_or_else(RetryPolicy::default_transient),
+            faults: config.faults.clone(),
+            telemetry: telemetry.clone(),
+        };
+        let snapshot = spec.load()?;
+        telemetry
+            .gauge("server.reload.epoch")
+            .set(snapshot.epoch as i64);
+        let latency_bounds: Vec<u64> = (0..=20).map(|e| 1u64 << e).collect();
+        Ok(Server {
+            snapshot: SnapshotHandle::new(snapshot),
+            reload_lock: Mutex::new(()),
+            admission: Admission::new(config.max_in_flight, config.deadline, &telemetry),
+            query_retries: config.query_retries.unwrap_or(1),
+            stats: ServerStats::default(),
+            err_transient: telemetry.counter("server.error.transient"),
+            err_permanent: telemetry.counter("server.error.permanent"),
+            deadline_count: telemetry.counter("server.deadline_exceeded"),
+            reload_count: telemetry.counter("server.reload.count"),
+            reload_errs: telemetry.counter("server.reload.error"),
             q_pairwise: telemetry.counter("server.queries.pairwise"),
             q_topk: telemetry.counter("server.queries.topk"),
             q_knn: telemetry.counter("server.queries.knn"),
@@ -309,22 +652,28 @@ impl Server {
             lat_topk: telemetry.histogram("server.latency_us.topk", &latency_bounds),
             lat_knn: telemetry.histogram("server.latency_us.knn", &latency_bounds),
             telemetry,
+            spec,
         })
     }
 
     /// Number of nodes in the served graph.
     pub fn num_nodes(&self) -> u64 {
-        self.num_nodes
+        self.snapshot.load().num_nodes
     }
 
     /// Number of relation types the decoder knows.
     pub fn num_relations(&self) -> usize {
-        self.num_relations
+        self.snapshot.load().num_relations
     }
 
     /// Embedding dimension.
     pub fn dim(&self) -> usize {
-        self.dim
+        self.snapshot.load().dim
+    }
+
+    /// Epochs completed by the currently served checkpoint version.
+    pub fn epoch(&self) -> usize {
+        self.snapshot.load().epoch
     }
 
     /// The telemetry recorder queries report into.
@@ -332,56 +681,150 @@ impl Server {
         &self.telemetry
     }
 
+    /// The fault injector attached via [`ServeConfig::with_fault_plan`] /
+    /// [`ServeConfig::with_fault_injector`], if any — chaos suites use this
+    /// to arm outages or permanent failures mid-run.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.spec.faults.as_ref()
+    }
+
     /// Number of partitions the read cache admits, when serving out of core.
     pub fn cache_admitted_partitions(&self) -> Option<usize> {
-        self.backend.cache().map(ReadCache::admitted_partitions)
+        self.snapshot
+            .load()
+            .backend
+            .cache()
+            .map(ReadCache::admitted_partitions)
+    }
+
+    /// Number of partitions quarantined after a cached copy failed its
+    /// fingerprint check, when serving out of core (see the crate docs).
+    pub fn cache_quarantined_partitions(&self) -> Option<usize> {
+        self.snapshot
+            .load()
+            .backend
+            .cache()
+            .map(ReadCache::quarantined_partitions)
     }
 
     /// Bytes the read cache's admitted set occupies once resident, when
     /// serving out of core (always within the configured budget).
     pub fn cache_admitted_bytes(&self) -> Option<u64> {
-        self.backend.cache().map(ReadCache::admitted_bytes)
+        self.snapshot
+            .load()
+            .backend
+            .cache()
+            .map(ReadCache::admitted_bytes)
     }
 
     /// The read cache's configured byte budget, when serving out of core.
     pub fn cache_budget_bytes(&self) -> Option<u64> {
-        self.backend.cache().map(ReadCache::budget_bytes)
+        self.snapshot
+            .load()
+            .backend
+            .cache()
+            .map(ReadCache::budget_bytes)
+    }
+
+    /// A readiness/liveness snapshot: current epoch, in-flight load, cache
+    /// occupancy and every degradation counter. All counters are always on —
+    /// they do not require an enabled telemetry recorder.
+    pub fn health(&self) -> ServerHealth {
+        let snap = self.snapshot.load();
+        ServerHealth {
+            epoch: snap.epoch,
+            in_flight: self.admission.in_flight(),
+            max_in_flight: self.admission.limit(),
+            deadline: self.admission.deadline(),
+            cache_admitted_partitions: snap.backend.cache().map(ReadCache::admitted_partitions),
+            cache_quarantined_partitions: snap
+                .backend
+                .cache()
+                .map(ReadCache::quarantined_partitions),
+            transient_errors: self.stats.transient.load(AtomicOrdering::Relaxed),
+            permanent_errors: self.stats.permanent.load(AtomicOrdering::Relaxed),
+            shed: self.admission.shed_total(),
+            deadline_exceeded: self.stats.deadline_exceeded.load(AtomicOrdering::Relaxed),
+            reloads: self.stats.reloads.load(AtomicOrdering::Relaxed),
+            reload_errors: self.stats.reload_errors.load(AtomicOrdering::Relaxed),
+            store_retries: snap
+                .backend
+                .store()
+                .map_or(0, |store| store.io_stats().io_retries),
+            faults_injected: self.spec.faults.as_ref().map_or(0, |f| f.faults_injected()),
+        }
+    }
+
+    /// Checks the checkpoint root for a newer `epoch-NNNNNN/` version and
+    /// atomically swaps it in. Returns `Ok(Some(epoch))` when a newer version
+    /// was published, `Ok(None)` when the served version is already the
+    /// newest. In-flight queries finish against the snapshot they pinned;
+    /// queries admitted after the swap see the new epoch — no answer is ever
+    /// torn across two versions.
+    ///
+    /// Concurrent reload calls serialise; a failed load (checkpoint
+    /// mid-write, transient device fault) leaves the current snapshot
+    /// serving and surfaces the error.
+    pub fn reload(&self) -> Result<Option<usize>> {
+        let _guard = self.reload_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let current = self.snapshot.load().epoch;
+        // Cheap no-op check: parse LATEST before paying for a full verified
+        // load. An unreadable/unparseable pointer falls through to the full
+        // open, which produces the proper typed error.
+        if peek_latest_epoch(&self.spec.root) == Some(current) {
+            return Ok(None);
+        }
+        let fresh = self.spec.load()?;
+        if fresh.epoch == current {
+            return Ok(None);
+        }
+        let epoch = fresh.epoch;
+        self.snapshot.store(Arc::new(fresh));
+        self.stats.reloads.fetch_add(1, AtomicOrdering::Relaxed);
+        self.reload_count.incr();
+        self.telemetry
+            .gauge("server.reload.epoch")
+            .set(epoch as i64);
+        Ok(Some(epoch))
+    }
+
+    /// Spawns a background thread that calls [`Server::reload`] every `poll`
+    /// interval, hot-swapping each new checkpoint version as training
+    /// publishes it. Reload failures are counted (`server.reload.error`) and
+    /// retried at the next poll while the current snapshot keeps serving.
+    /// The returned watcher stops and joins the thread on drop.
+    pub fn watch_checkpoints(self: &Arc<Self>, poll: Duration) -> CheckpointWatcher {
+        CheckpointWatcher::spawn(Arc::clone(self), poll)
+    }
+
+    pub(crate) fn note_reload_error(&self) {
+        self.stats
+            .reload_errors
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        self.reload_errs.incr();
     }
 
     /// Scores one `(source, relation, destination)` triple.
-    pub fn score(&self, src: NodeId, rel: RelId, dst: NodeId) -> Result<f32> {
+    pub fn score(&self, src: NodeId, rel: RelId, dst: NodeId) -> ServeResult<f32> {
         Ok(self.score_pairs(&[(src, rel, dst)])?[0])
     }
 
     /// Scores a batch of triples through the training decoder kernel.
     /// Relation ids wrap modulo the relation count, matching training.
-    pub fn score_pairs(&self, triples: &[(NodeId, RelId, NodeId)]) -> Result<Vec<f32>> {
+    pub fn score_pairs(&self, triples: &[(NodeId, RelId, NodeId)]) -> ServeResult<Vec<f32>> {
         let start = Instant::now();
         let mut scope = self.telemetry.scope("server");
         scope.begin("server.pairwise", triples.len() as i64, NO_LABEL);
-        let out = self.score_pairs_inner(triples);
+        let out = self.run_admitted(|snap, clock| snap.score_pairs(triples, clock));
         scope.end();
         self.q_pairwise.incr();
         self.lat_pairwise.record(elapsed_us(start));
         out
     }
 
-    fn score_pairs_inner(&self, triples: &[(NodeId, RelId, NodeId)]) -> Result<Vec<f32>> {
-        if triples.is_empty() {
-            return Ok(Vec::new());
-        }
-        let srcs: Vec<NodeId> = triples.iter().map(|&(s, _, _)| s).collect();
-        let rels: Vec<RelId> = triples.iter().map(|&(_, r, _)| r).collect();
-        let dsts: Vec<NodeId> = triples.iter().map(|&(_, _, d)| d).collect();
-        let src_t = self.gather(&srcs)?;
-        let dst_t = self.gather(&dsts)?;
-        let scores = self.decoder.score_positive(&src_t, &rels, &dst_t);
-        Ok((0..triples.len()).map(|i| scores.get(i, 0)).collect())
-    }
-
     /// Top-k tail prediction `(src, rel, ?)` over every node in the graph,
     /// ranked score-descending with ties broken by ascending node id.
-    pub fn top_k(&self, src: NodeId, rel: RelId, k: usize) -> Result<Vec<Prediction>> {
+    pub fn top_k(&self, src: NodeId, rel: RelId, k: usize) -> ServeResult<Vec<Prediction>> {
         self.top_k_query(src, rel, k, None)
     }
 
@@ -392,7 +835,7 @@ impl Server {
         rel: RelId,
         k: usize,
         candidates: &[NodeId],
-    ) -> Result<Vec<Prediction>> {
+    ) -> ServeResult<Vec<Prediction>> {
         self.top_k_query(src, rel, k, Some(candidates))
     }
 
@@ -402,113 +845,85 @@ impl Server {
         rel: RelId,
         k: usize,
         candidates: Option<&[NodeId]>,
-    ) -> Result<Vec<Prediction>> {
+    ) -> ServeResult<Vec<Prediction>> {
         let start = Instant::now();
         let mut scope = self.telemetry.scope("server");
         scope.begin("server.topk", k as i64, NO_LABEL);
-        let out = self.top_k_inner(src, rel, k, candidates);
+        let out = self.run_admitted(|snap, clock| snap.top_k(src, rel, k, candidates, clock));
         scope.end();
         self.q_topk.incr();
         self.lat_topk.record(elapsed_us(start));
         out
     }
 
-    fn top_k_inner(
-        &self,
-        src: NodeId,
-        rel: RelId,
-        k: usize,
-        candidates: Option<&[NodeId]>,
-    ) -> Result<Vec<Prediction>> {
-        if k == 0 {
-            return Ok(Vec::new());
-        }
-        let src_t = self.gather(&[src])?;
-        let mut best: Vec<Prediction> = Vec::with_capacity(k + SCORE_CHUNK);
-        self.for_each_candidate_chunk(candidates, |chunk, server| {
-            let negs = server.gather(chunk)?;
-            let scores = server.decoder.score_negatives(&src_t, &[rel], &negs);
-            merge_top_k(
-                &mut best,
-                chunk.iter().enumerate().map(|(i, &node)| Prediction {
-                    node,
-                    score: scores.get(0, i),
-                }),
-                k,
-            );
-            Ok(())
-        })?;
-        Ok(best)
-    }
-
     /// The `k` nearest neighbours of `node` in the embedding table under
     /// dot-product similarity, excluding `node` itself; ranked
     /// similarity-descending with ties broken by ascending node id.
-    pub fn knn(&self, node: NodeId, k: usize) -> Result<Vec<Prediction>> {
+    pub fn knn(&self, node: NodeId, k: usize) -> ServeResult<Vec<Prediction>> {
         let start = Instant::now();
         let mut scope = self.telemetry.scope("server");
         scope.begin("server.knn", k as i64, NO_LABEL);
-        let out = self.knn_inner(node, k);
+        let out = self.run_admitted(|snap, clock| snap.knn(node, k, clock));
         scope.end();
         self.q_knn.incr();
         self.lat_knn.record(elapsed_us(start));
         out
     }
 
-    fn knn_inner(&self, node: NodeId, k: usize) -> Result<Vec<Prediction>> {
-        if k == 0 {
-            return Ok(Vec::new());
-        }
-        let query = self.gather(&[node])?.transpose(); // (dim, 1)
-        let mut best: Vec<Prediction> = Vec::with_capacity(k + SCORE_CHUNK);
-        self.for_each_candidate_chunk(None, |chunk, server| {
-            let rows = server.gather(chunk)?;
-            let sims = rows.matmul(&query); // (chunk, 1)
-            merge_top_k(
-                &mut best,
-                chunk
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &cand)| cand != node)
-                    .map(|(i, &cand)| Prediction {
-                        node: cand,
-                        score: sims.get(i, 0),
-                    }),
-                k,
-            );
-            Ok(())
-        })?;
-        Ok(best)
-    }
-
-    /// Runs `f` over the candidate set in [`SCORE_CHUNK`]-sized slices —
-    /// either the explicit list or every node id in order.
-    fn for_each_candidate_chunk(
+    /// The common query harness: admission (shed/deadline), snapshot
+    /// pinning, serve-level retry of store-budget exhaustions, and error
+    /// classification/counting. Each attempt pins a *fresh* snapshot, so a
+    /// query retried across a hot reload completes wholly on the new epoch.
+    fn run_admitted<T>(
         &self,
-        candidates: Option<&[NodeId]>,
-        mut f: impl FnMut(&[NodeId], &Self) -> Result<()>,
-    ) -> Result<()> {
-        match candidates {
-            Some(list) => {
-                for chunk in list.chunks(SCORE_CHUNK) {
-                    f(chunk, self)?;
+        f: impl Fn(&Snapshot, &QueryClock) -> ServeResult<T>,
+    ) -> ServeResult<T> {
+        let _permit = self.admission.admit()?;
+        let clock = self.admission.clock();
+        let mut attempt = 0u32;
+        loop {
+            let out = clock.check().and_then(|()| {
+                let snapshot = self.snapshot.load();
+                f(&snapshot, &clock)
+            });
+            match out {
+                Ok(value) => return Ok(value),
+                Err(e @ ServeError::DeadlineExceeded { .. }) => {
+                    self.stats
+                        .deadline_exceeded
+                        .fetch_add(1, AtomicOrdering::Relaxed);
+                    self.deadline_count.incr();
+                    return Err(e);
                 }
-            }
-            None => {
-                let mut start = 0u64;
-                while start < self.num_nodes {
-                    let end = (start + SCORE_CHUNK as u64).min(self.num_nodes);
-                    let chunk: Vec<NodeId> = (start..end).collect();
-                    f(&chunk, self)?;
-                    start = end;
+                Err(e @ ServeError::Transient { .. }) => {
+                    self.stats.transient.fetch_add(1, AtomicOrdering::Relaxed);
+                    self.err_transient.incr();
+                    if attempt < self.query_retries {
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(e);
                 }
+                Err(e @ ServeError::Permanent { .. }) => {
+                    self.stats.permanent.fetch_add(1, AtomicOrdering::Relaxed);
+                    self.err_permanent.incr();
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
             }
         }
-        Ok(())
     }
 
-    fn gather(&self, nodes: &[NodeId]) -> Result<Tensor> {
-        self.backend.gather(nodes, self.num_nodes, self.dim)
+    /// Test hook: flips one bit of a cached partition copy in place (see
+    /// `ReadCache::debug_corrupt`), so chaos suites can prove the quarantine
+    /// degraded mode serves bit-identical answers from disk.
+    #[doc(hidden)]
+    pub fn debug_corrupt_cached_partition(&self, p: PartitionId) -> bool {
+        self.snapshot
+            .load()
+            .backend
+            .cache()
+            .is_some_and(|cache| cache.debug_corrupt(p))
     }
 }
 
@@ -618,5 +1033,22 @@ mod tests {
         let disk = DiskConfig::node_cache(8, 4);
         let err = heat_order(&disk, &mut StdRng::seed_from_u64(1)).unwrap_err();
         assert!(format!("{err}").contains("node classification"), "{err}");
+    }
+
+    #[test]
+    fn peek_latest_epoch_parses_the_pointer() {
+        let dir = std::env::temp_dir().join(format!(
+            "marius-serve-peek-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(peek_latest_epoch(&dir), None);
+        std::fs::write(dir.join("LATEST"), "epoch-000042\n").unwrap();
+        assert_eq!(peek_latest_epoch(&dir), Some(42));
+        std::fs::write(dir.join("LATEST"), "garbage").unwrap();
+        assert_eq!(peek_latest_epoch(&dir), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -65,6 +65,18 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     })
 }
 
+/// FNV-1a digest of a value block's exact bit patterns (little-endian), used
+/// by read-side verification: a reader that remembers the digest of a block it
+/// handed out can later detect an in-memory corruption of its cached copy and
+/// fall back to re-reading the file. Stable across runs and platforms.
+pub fn partition_digest(values: &[f32]) -> u64 {
+    values.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, v| {
+        v.to_le_bytes().iter().fold(h, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        })
+    })
+}
+
 /// Atomically materialises `src`'s bytes at `dst`: hard-links when the two
 /// paths share a filesystem (snapshots of multi-gigabyte partition files cost
 /// one directory entry), falling back to a full copy. Because every mutation
@@ -519,6 +531,30 @@ impl PartitionStore {
         })
     }
 
+    /// Reads a node partition and structurally verifies the value block
+    /// against the caller's expectation — the read-side twin of the write
+    /// path's length header. A truncated, swapped, or stale snapshot file
+    /// surfaces as a typed [`StorageError::Checkpoint`] instead of silently
+    /// serving wrong embeddings. Transient faults retry exactly like
+    /// [`PartitionStore::read_partition`]; the verification itself never
+    /// retries (a shape mismatch is permanent).
+    pub fn read_partition_expect(
+        &self,
+        id: PartitionId,
+        expected_rows: usize,
+        dim: usize,
+    ) -> Result<(Vec<f32>, Vec<f32>)> {
+        let (values, state) = self.read_partition(id)?;
+        if values.len() != expected_rows * dim {
+            return Err(StorageError::checkpoint(format!(
+                "partition {id} holds {} values but the replayed assignment expects \
+                 {expected_rows} rows × {dim}",
+                values.len()
+            )));
+        }
+        Ok((values, state))
+    }
+
     /// One read attempt of a node partition (no fault check, no retry).
     fn read_partition_once(&self, id: PartitionId) -> Result<(Vec<f32>, Vec<f32>)> {
         let path = self.partition_path(id);
@@ -713,6 +749,30 @@ mod tests {
         let (v, s) = store.read_partition(3).unwrap();
         assert_eq!(v, values);
         assert_eq!(s, state);
+    }
+
+    #[test]
+    fn read_expect_verifies_the_value_block_shape() {
+        let store = temp_store("read-expect");
+        store
+            .write_partition(0, &[1.0f32, 2.0, 3.0, 4.0], &[0.0; 4])
+            .unwrap();
+        let (v, s) = store.read_partition_expect(0, 2, 2).unwrap();
+        assert_eq!(v.len(), 4);
+        assert_eq!(s.len(), 4);
+        let err = store.read_partition_expect(0, 5, 2).unwrap_err();
+        assert!(format!("{err}").contains("expects 5 rows"), "{err}");
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn partition_digest_tracks_exact_bits() {
+        let a = partition_digest(&[1.0f32, -2.5, 0.0]);
+        let b = partition_digest(&[1.0f32, -2.5, 0.0]);
+        assert_eq!(a, b);
+        // 0.0 and -0.0 compare equal but differ in bits: the digest sees it.
+        assert_ne!(a, partition_digest(&[1.0f32, -2.5, -0.0]));
+        assert_ne!(a, partition_digest(&[1.0f32, -2.5]));
     }
 
     #[test]

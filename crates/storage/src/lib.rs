@@ -52,7 +52,7 @@ pub mod retry;
 pub mod tuning;
 
 pub use buffer::{BufferStats, EvictedPartition, PartitionBuffer, WritebackLedger};
-pub use disk::{atomic_write, IoStats, PartitionStore};
+pub use disk::{atomic_write, partition_digest, IoStats, PartitionStore};
 pub use fault::{FaultInjector, IoFaultPlan, Outage};
 pub use io_model::IoCostModel;
 pub use policy::{BetaPolicy, CometPolicy, EpochPlan, InMemoryPolicy, NodeCachePolicy};

@@ -105,7 +105,10 @@ fn main() -> marius::Result<()> {
         answered.load(Ordering::Relaxed) as f64 / elapsed
     );
 
-    // 5. The cache counters explain the latency profile.
+    // 5. The cache counters explain the latency profile, and the health
+    //    snapshot is what a readiness probe would scrape: served epoch,
+    //    in-flight load, and every degradation counter (errors, shed,
+    //    deadline trips, quarantines, reloads).
     let snap = telemetry.metrics_snapshot();
     for key in [
         "server.cache.hit",
@@ -114,6 +117,7 @@ fn main() -> marius::Result<()> {
     ] {
         println!("  {key:<22} {}", snap.counter(key).unwrap_or(0));
     }
+    println!("\nhealth: {:?}", server.health());
     std::fs::create_dir_all("target")?;
     telemetry.write_metrics_json("target/serve_metrics.json")?;
     println!("wrote target/serve_metrics.json");

@@ -178,6 +178,55 @@
 //! See `marius_serve` for the query API, cache-policy reuse and the
 //! consistency guarantees (thread-count, backend and chunking invariance).
 //!
+//! # Continuous training: train → checkpoint → reload → serve
+//!
+//! A server is not stuck on the checkpoint it opened. [`Server::reload`]
+//! atomically hot-swaps in the newest `epoch-NNNNNN/` version (in-flight
+//! queries finish on the snapshot they pinned), and
+//! [`Session::serve_watching`] wires that into a background poll loop so a
+//! long-lived server tracks a training run as it publishes checkpoints:
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use marius::graph::datasets::{DatasetSpec, ScaledDataset};
+//! use marius::{LinkPredictionTask, ModelConfig, ServeConfig, Session, Storage, TrainConfig};
+//!
+//! # fn main() -> marius::Result<()> {
+//! let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.05), 42);
+//! let mut session = Session::builder()
+//!     .dataset(data)
+//!     .model(ModelConfig::paper_distmult(32))
+//!     .train(TrainConfig::quick(2, 42))
+//!     .storage(Storage::Disk(marius::DiskConfig::comet(16, 4)))
+//!     .checkpoint_to("run/checkpoints", 1)
+//!     .build()?;
+//! session.train()?;
+//!
+//! // Serve with hardening: bounded in-flight budget, per-query deadline,
+//! // and a watcher that hot-swaps each new checkpoint as training publishes
+//! // it. Queries keep answering (on the old epoch) throughout every swap.
+//! let config = ServeConfig::read_cache(1 << 20)
+//!     .with_max_in_flight(64)
+//!     .with_deadline(Duration::from_millis(250));
+//! let (server, watcher) = session.serve_watching(config, Duration::from_millis(100))?;
+//!
+//! // Keep training: the watcher reloads epoch 3's checkpoint within a poll.
+//! let mut session: Session<LinkPredictionTask> =
+//!     Session::resume_from_until("run/checkpoints", 3)?;
+//! session.train()?;
+//!
+//! println!("{:?}", server.health()); // readiness: epoch, errors, shed, reloads
+//! watcher.stop(); // stops polling; the server keeps serving its snapshot
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Under faults the read path degrades predictably — transient read errors
+//! retry (seeded [`IoFaultPlan`] chaos schedules attach via
+//! [`ServeConfig`]), corrupt cached blocks quarantine and re-read from disk,
+//! overload sheds with typed [`ServeError`]s — see `marius_serve`'s
+//! "degradation modes & reload semantics" docs.
+//!
 //! # Workspace map
 //!
 //! * [`tensor`] / [`gnn`] — dense kernels, layers, decoders, optimizers.
@@ -212,7 +261,10 @@ pub use marius_core::{
 };
 #[allow(deprecated)]
 pub use marius_core::{LinkPredictionTrainer, NodeClassificationTrainer};
-pub use marius_serve::{Prediction, ServeConfig, ServeMode, Server, ZipfWorkload};
+pub use marius_serve::{
+    CheckpointWatcher, Prediction, ServeConfig, ServeError, ServeMode, ServeResult, Server,
+    ServerHealth, ZipfWorkload,
+};
 pub use marius_storage::{
     FaultInjector, IoCostModel, IoFaultPlan, Result, RetryPolicy, StorageError,
 };
@@ -687,6 +739,23 @@ impl<T: Task> Session<T> {
                     .into(),
             })?;
         Server::from_checkpoint_with(dir, config)
+    }
+
+    /// Like [`Session::serve_with`], but additionally spawns a
+    /// [`CheckpointWatcher`] that polls this session's checkpoint directory
+    /// every `poll` interval and hot-swaps each newly published
+    /// `epoch-NNNNNN/` version into the returned server ([`Server::reload`]
+    /// semantics: in-flight queries finish on the snapshot they pinned). Use
+    /// this for continuous train→checkpoint→reload→serve loops; see the
+    /// crate-level "Continuous training" example.
+    pub fn serve_watching(
+        &self,
+        config: ServeConfig,
+        poll: std::time::Duration,
+    ) -> Result<(Arc<Server>, CheckpointWatcher)> {
+        let server = Arc::new(self.serve_with(config)?);
+        let watcher = server.watch_checkpoints(poll);
+        Ok((server, watcher))
     }
 }
 
