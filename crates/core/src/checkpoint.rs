@@ -50,6 +50,8 @@
 //!   "storage": {"kind": "memory"} | {"kind": "disk", ..DiskConfig..},
 //!   "pipeline": { ..PipelineConfig.. },
 //!   "dataset": { ..DatasetSpec.., "seed": 42 },  // regenerates the dataset bit-for-bit
+//!   "stream": null,                      // or {"seed", "batch_size", "batches_applied",
+//!                                        //     "edges_ingested"} on streaming runs
 //!   "store_snapshot": true,              // whether partitions/ exists
 //!   "blobs": [ {"name", "rows", "cols", "dtype", "offset", "len_bytes", "fnv64"} ],
 //!   "epochs": [ {"epoch", "loss_bits", "metric_bits", ..} ]
@@ -439,6 +441,29 @@ pub enum StorageKind {
     Disk(DiskConfig),
 }
 
+/// Durable cursor of a streaming-ingest run: how much of the seeded edge
+/// stream has been applied to the training buckets at this checkpoint.
+///
+/// A streamed dataset is never persisted wholesale. The manifest records the
+/// base dataset as `(spec, seed)` plus this cursor; resume regenerates the
+/// base, replays the seeded stream's first `batches_applied` batches (each
+/// batch is a pure function of `(seed, index)`), and appends them to the
+/// training edges — reconstructing the grown dataset bit-for-bit. Missing
+/// from a manifest (pre-streaming checkpoints) means "no stream": parse-back
+/// is version-compatible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamState {
+    /// Seed of the edge stream (independent of the trainer RNG).
+    pub seed: u64,
+    /// Edges per stream batch.
+    pub batch_size: usize,
+    /// Stream batches applied to the training buckets so far.
+    pub batches_applied: u64,
+    /// Total edges ingested so far (`batches_applied * batch_size`, recorded
+    /// explicitly so readers need not re-derive it).
+    pub edges_ingested: u64,
+}
+
 /// Everything [`write_versioned`] needs to persist one epoch-boundary
 /// checkpoint. Assembled by `Trainer<T>` at the end of a checkpointed epoch.
 pub struct CheckpointSnapshot<'a> {
@@ -465,6 +490,8 @@ pub struct CheckpointSnapshot<'a> {
     pub pipeline: &'a PipelineConfig,
     /// The dataset the run trains on (spec + generation seed are persisted).
     pub data: &'a ScaledDataset,
+    /// Streaming-ingest cursor, when the run ingests from an edge stream.
+    pub stream: Option<StreamState>,
     /// Model (and in-memory source) state blobs.
     pub state: &'a StateDict,
     /// When `Some`, the store's partition files are snapshotted into the
@@ -646,6 +673,9 @@ pub struct Checkpoint {
     pub dataset_spec: DatasetSpec,
     /// Dataset generation seed.
     pub dataset_seed: u64,
+    /// Streaming-ingest cursor (`None` for frozen-dataset runs, and for
+    /// manifests written before streaming existed).
+    pub stream: Option<StreamState>,
     /// Model / source / trainer state blobs.
     pub state: StateDict,
     /// Whether the version directory carries a partition snapshot.
@@ -771,6 +801,12 @@ impl Checkpoint {
             pipeline: pipeline_from_json(doc.field("pipeline")?)?,
             dataset_spec: dataset_from_json(doc.field("dataset")?)?,
             dataset_seed: doc.field("dataset")?.u64_field("seed")?,
+            // Manifests written before streaming existed have no "stream"
+            // field at all; both that and an explicit null mean "no stream".
+            stream: match doc.field("stream") {
+                Ok(j) => stream_from_json(j)?,
+                Err(_) => None,
+            },
             state,
             has_store_snapshot,
             prior_epochs,
@@ -818,6 +854,10 @@ fn manifest_json(s: &CheckpointSnapshot<'_>, entries: &[BlobEntry]) -> String {
     out.push_str(&format!(
         "\"dataset\":{},",
         dataset_to_json(&s.data.spec, s.data.seed)
+    ));
+    out.push_str(&format!(
+        "\"stream\":{},",
+        stream_to_json(s.stream.as_ref())
     ));
     out.push_str(&format!("\"store_snapshot\":{},", s.store.is_some()));
     out.push_str("\"blobs\":[");
@@ -870,7 +910,7 @@ fn epoch_to_json(e: &EpochReport) -> String {
          \"partition_loads\":{},\"examples\":{},\"nodes_sampled\":{},\"edges_sampled\":{},\
          \"io_retries\":{},\"faults_injected\":{},\"recoveries\":{},\
          \"buffer_hits\":{},\"buffer_misses\":{},\"buffer_evictions\":{},\
-         \"throttle_wait_time_ns\":{}}}",
+         \"throttle_wait_time_ns\":{},\"edges_ingested\":{}}}",
         e.epoch,
         e.loss.to_bits(),
         e.metric.to_bits(),
@@ -895,6 +935,7 @@ fn epoch_to_json(e: &EpochReport) -> String {
         e.buffer_misses,
         e.buffer_evictions,
         e.throttle_wait_time.as_nanos(),
+        e.edges_ingested,
     )
 }
 
@@ -928,6 +969,9 @@ fn epoch_from_json(j: &Json) -> Result<EpochReport> {
         buffer_misses: j.u64_field("buffer_misses").unwrap_or(0),
         buffer_evictions: j.u64_field("buffer_evictions").unwrap_or(0),
         throttle_wait_time: Duration::from_nanos(j.u64_field("throttle_wait_time_ns").unwrap_or(0)),
+        // Streaming ingest also postdates version 1; frozen-dataset manifests
+        // simply report zero edges ingested.
+        edges_ingested: j.u64_field("edges_ingested").unwrap_or(0),
     })
 }
 
@@ -1098,6 +1142,28 @@ fn pipeline_from_json(j: &Json) -> Result<PipelineConfig> {
     })
 }
 
+fn stream_to_json(s: Option<&StreamState>) -> String {
+    match s {
+        None => "null".to_string(),
+        Some(s) => format!(
+            "{{\"seed\":{},\"batch_size\":{},\"batches_applied\":{},\"edges_ingested\":{}}}",
+            s.seed, s.batch_size, s.batches_applied, s.edges_ingested,
+        ),
+    }
+}
+
+fn stream_from_json(j: &Json) -> Result<Option<StreamState>> {
+    match j {
+        Json::Null => Ok(None),
+        obj => Ok(Some(StreamState {
+            seed: obj.u64_field("seed")?,
+            batch_size: obj.u64_field("batch_size")? as usize,
+            batches_applied: obj.u64_field("batches_applied")?,
+            edges_ingested: obj.u64_field("edges_ingested")?,
+        })),
+    }
+}
+
 fn dataset_to_json(spec: &DatasetSpec, seed: u64) -> String {
     let task = match spec.task {
         DatasetTask::LinkPrediction => "LinkPrediction",
@@ -1191,6 +1257,7 @@ mod tests {
             storage,
             pipeline,
             data,
+            stream: None,
             state: dict,
             store: None,
             report,
@@ -1344,6 +1411,59 @@ mod tests {
         );
         assert_eq!(restored.iops.to_bits(), io.iops.to_bits());
         assert_eq!(restored.block_size, io.block_size);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stream_state_round_trips_and_defaults_to_none() {
+        let root = temp_root("stream-state");
+        let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.002), 7);
+        let model = ModelConfig::paper_distmult(8);
+        let train = TrainConfig::quick(2, 9);
+        let storage = StorageKind::InMemory;
+        let pipeline = PipelineConfig::disabled();
+        let dict = sample_dict();
+        let mut report = ExperimentReport::new("t", "d");
+        report.epochs.push(EpochReport {
+            edges_ingested: 96,
+            ..Default::default()
+        });
+        let mut snap = sample_snapshot(
+            &data, &model, &train, &storage, &pipeline, &dict, &report, 1,
+        );
+        // Without a stream the manifest emits null and parses back to None.
+        write_versioned(&root, &snap).unwrap();
+        let ckpt = Checkpoint::open(&root).unwrap();
+        assert!(ckpt.stream.is_none());
+        // With a stream, every cursor field round-trips bit-exactly, and the
+        // per-epoch edges_ingested count survives the manifest.
+        snap.stream = Some(StreamState {
+            seed: 0xfeed,
+            batch_size: 32,
+            batches_applied: 3,
+            edges_ingested: 96,
+        });
+        snap.epochs_completed = 2;
+        write_versioned(&root, &snap).unwrap();
+        let ckpt = Checkpoint::open(&root).unwrap();
+        let stream = ckpt.stream.expect("stream cursor persisted");
+        assert_eq!(stream.seed, 0xfeed);
+        assert_eq!(stream.batch_size, 32);
+        assert_eq!(stream.batches_applied, 3);
+        assert_eq!(stream.edges_ingested, 96);
+        assert_eq!(ckpt.prior_epochs[0].edges_ingested, 96);
+        // A manifest with no "stream" field at all (pre-streaming format)
+        // also parses back to None.
+        let dir = ckpt.dir.clone();
+        let manifest = fs::read_to_string(dir.join("manifest.json")).unwrap();
+        let stripped = manifest.replace(
+            "\"stream\":{\"seed\":65261,\"batch_size\":32,\"batches_applied\":3,\"edges_ingested\":96},",
+            "",
+        );
+        assert_ne!(manifest, stripped, "stream field not found to strip");
+        fs::write(dir.join("manifest.json"), stripped).unwrap();
+        let ckpt = Checkpoint::open(&root).unwrap();
+        assert!(ckpt.stream.is_none());
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -14,8 +14,8 @@
 //!   `train_prepared` (compute) half so batches can be built on worker threads.
 //! * [`task`] — the [`task::Task`] trait capturing everything task-specific:
 //!   example enumeration, batch preparation, disk layout, and evaluation.
-//!   [`task::LinkPredictionTask`] and [`task::NodeClassificationTask`] are the
-//!   two built-in workloads.
+//!   [`task::LinkPredictionTask`], [`task::NodeClassificationTask`] and
+//!   [`task::TemporalLinkPredictionTask`] are the built-in workloads.
 //! * [`trainer`] — the single generic [`trainer::Trainer`]`<T: Task>` that owns
 //!   the in-memory, sequential-disk, and pipelined-disk epoch executors once
 //!   for every task, including the partition-buffer walk over a replacement
@@ -48,7 +48,7 @@ pub mod source;
 pub mod task;
 pub mod trainer;
 
-pub use checkpoint::{Checkpoint, Persist, ResumeState, StateDict, StorageKind};
+pub use checkpoint::{Checkpoint, Persist, ResumeState, StateDict, StorageKind, StreamState};
 pub use config::{DiskConfig, EncoderKind, ModelConfig, PipelineConfig, PolicyKind, TrainConfig};
 pub use models::{
     LinkBatchBuilder, LinkPredictionModel, NodeBatchBuilder, NodeClassificationModel,
@@ -56,7 +56,9 @@ pub use models::{
 };
 pub use report::{EpochReport, ExperimentReport};
 pub use source::{FixedFeatureSource, RepresentationSource, TableSource};
-pub use task::{DiskSetup, LinkPredictionTask, NodeClassificationTask, Task};
-pub use trainer::{read_all_embeddings, EpochHook, Trainer};
+pub use task::{
+    DiskSetup, LinkPredictionTask, NodeClassificationTask, Task, TemporalLinkPredictionTask,
+};
+pub use trainer::{read_all_embeddings, EpochHook, IngestHook, Trainer};
 #[allow(deprecated)]
 pub use trainer::{LinkPredictionTrainer, NodeClassificationTrainer};

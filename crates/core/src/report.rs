@@ -93,6 +93,11 @@ pub struct EpochReport {
     /// device's single-lane reservation before their transfer began. Zero on
     /// real (non-emulated) devices.
     pub throttle_wait_time: Duration,
+    /// Streaming runs only: edges ingested into the training buckets at this
+    /// epoch's boundary (applied at the write-back safe point, after the
+    /// epoch's training but before its evaluation). Zero on frozen-dataset
+    /// runs.
+    pub edges_ingested: u64,
 }
 
 /// A complete experiment run: configuration label plus per-epoch reports.
@@ -194,7 +199,7 @@ impl ExperimentReport {
                  \"examples\":{},\"nodes_sampled\":{},\"edges_sampled\":{},\
                  \"io_retries\":{},\"faults_injected\":{},\"recoveries\":{},\
                  \"buffer_hits\":{},\"buffer_misses\":{},\"buffer_evictions\":{},\
-                 \"throttle_wait_time_s\":{}}}",
+                 \"throttle_wait_time_s\":{},\"edges_ingested\":{}}}",
                 e.epoch,
                 num(e.loss),
                 num(e.metric),
@@ -219,6 +224,7 @@ impl ExperimentReport {
                 e.buffer_misses,
                 e.buffer_evictions,
                 num(e.throttle_wait_time.as_secs_f64()),
+                e.edges_ingested,
             ));
         }
         out.push_str("]}");
@@ -319,6 +325,7 @@ mod tests {
         assert!(json.contains("\"buffer_misses\":0"));
         assert!(json.contains("\"buffer_evictions\":0"));
         assert!(json.contains("\"throttle_wait_time_s\":0"));
+        assert!(json.contains("\"edges_ingested\":0"));
         assert_eq!(json.matches("\"epoch\":").count(), 2);
     }
 

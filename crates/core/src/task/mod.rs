@@ -10,7 +10,7 @@
 //! constructed and applied, how storage is laid out on disk, and how the
 //! model is evaluated — to a [`Task`] implementation.
 //!
-//! Two implementations are provided:
+//! Three implementations are provided:
 //!
 //! * [`LinkPredictionTask`] — examples are edges, batches carry shared
 //!   negatives, storage uses random partitioning with the COMET/BETA
@@ -18,6 +18,9 @@
 //! * [`NodeClassificationTask`] — examples are labeled nodes, storage packs
 //!   the training nodes into leading partitions cached for the whole epoch
 //!   (§5.2), and evaluation measures test-set accuracy.
+//! * [`TemporalLinkPredictionTask`] — link prediction over chronological
+//!   splits (generation order is time order) with time-split negative
+//!   sampling; the workload the streaming ingest path fine-tunes.
 //!
 //! Implementations must preserve the trainer's RNG discipline: any method
 //! that receives an RNG draws from it in a deterministic order (or not at
@@ -26,9 +29,11 @@
 
 mod link_prediction;
 mod node_classification;
+mod temporal_link_prediction;
 
 pub use link_prediction::{LinkEvalContext, LinkPredictionTask};
 pub use node_classification::{NodeClassificationTask, NodeEvalContext};
+pub use temporal_link_prediction::{TemporalEvalContext, TemporalLinkPredictionTask};
 
 use crate::config::{DiskConfig, ModelConfig, TrainConfig};
 use crate::models::BatchStats;

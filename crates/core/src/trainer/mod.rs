@@ -37,7 +37,7 @@
 //! [`LinkPredictionTrainer`] and [`NodeClassificationTrainer`] are
 //! `Trainer<LinkPredictionTask>` and `Trainer<NodeClassificationTask>`.
 
-use crate::checkpoint::{CheckpointSnapshot, ResumeState, StateDict, StorageKind};
+use crate::checkpoint::{CheckpointSnapshot, ResumeState, StateDict, StorageKind, StreamState};
 use crate::config::{DiskConfig, ModelConfig, PipelineConfig, TrainConfig};
 use crate::models::BatchStats;
 use crate::report::{EpochReport, ExperimentReport};
@@ -53,7 +53,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A callback invoked after every completed epoch (metrics are final for the
@@ -62,6 +62,17 @@ use std::time::Instant;
 /// [`StorageError`] — hooks that write to disk (progress mirrors, metrics
 /// exporters) surface their IO errors instead of panicking or being dropped.
 pub type EpochHook = Box<dyn Fn(&EpochReport) -> Result<()> + Send + Sync>;
+
+/// A callback invoked at each disk-epoch boundary at the write-back safe
+/// point (every detached write-back drained, bucket files and in-memory
+/// buckets in agreement) — the one moment the training-edge set may grow.
+/// Receives the mutable [`DiskSetup`] (so staged edge deltas can be applied
+/// to both the in-memory buckets and the store's bucket files) and the
+/// zero-based epoch index just trained; returns the number of edges ingested
+/// at this boundary (`0` when the boundary is not an ingest point). The hook
+/// must not consume trainer RNG — it runs outside the seeded epoch executors,
+/// which is what keeps sequential and pipelined streamed runs bit-identical.
+pub type IngestHook = Box<dyn Fn(&mut DiskSetup, usize) -> Result<u64> + Send + Sync>;
 
 /// Blob name of the in-memory example-order permutation (the cross-epoch
 /// shuffle state of [`Trainer::train_in_memory`]).
@@ -155,6 +166,15 @@ pub struct Trainer<T: Task> {
     /// stages, partition store/buffer, the epoch loop). Disabled (zero
     /// overhead) by default.
     telemetry: Telemetry,
+    /// Streaming ingest callback fired at every disk-epoch boundary (see
+    /// [`IngestHook`]); `None` trains over a frozen dataset.
+    ingest_hook: Option<IngestHook>,
+    /// Shared stream cursor recorded into checkpoint manifests so a streamed
+    /// run can be resumed by deterministic replay. The ingest hook advances
+    /// it; [`Trainer::write_checkpoint`] reads it at checkpoint time (the
+    /// hook runs before the boundary's checkpoint, so the cursor and the
+    /// snapshotted bucket files always agree).
+    stream_state: Option<Arc<Mutex<StreamState>>>,
 }
 
 impl<T: Task + Default> Trainer<T> {
@@ -182,6 +202,8 @@ impl<T: Task> Trainer<T> {
             checkpoint: None,
             resume: None,
             telemetry: Telemetry::disabled(),
+            ingest_hook: None,
+            stream_state: None,
         }
     }
 
@@ -296,6 +318,24 @@ impl<T: Task> Trainer<T> {
         self
     }
 
+    /// Installs a streaming ingest callback fired at every disk-epoch
+    /// boundary at the write-back safe point (see [`IngestHook`]). A `&mut`
+    /// setter rather than a consuming builder so driver code can arm it on an
+    /// already-configured trainer.
+    pub fn set_ingest_hook(
+        &mut self,
+        hook: impl Fn(&mut DiskSetup, usize) -> Result<u64> + Send + Sync + 'static,
+    ) {
+        self.ingest_hook = Some(Box::new(hook));
+    }
+
+    /// Shares a stream cursor with the trainer: checkpoints written by this
+    /// trainer record its current value in their manifests (`"stream"`
+    /// field), making the streamed run resumable by replay.
+    pub fn set_stream_state(&mut self, state: Arc<Mutex<StreamState>>) {
+        self.stream_state = Some(state);
+    }
+
     /// Whether epoch `epoch_idx` evaluates because the cadence says so
     /// (ignoring the forced final-epoch evaluation).
     fn cadence_evaluates(&self, epoch_idx: usize) -> bool {
@@ -397,6 +437,10 @@ impl<T: Task> Trainer<T> {
             state,
             store,
             report,
+            stream: self
+                .stream_state
+                .as_ref()
+                .map(|s| *s.lock().expect("stream state poisoned")),
         };
         crate::checkpoint::write_versioned(dir, &snapshot)?;
         Ok(())
@@ -731,6 +775,18 @@ impl<T: Task> Trainer<T> {
                 span.timed("epoch.flush", epoch_idx as i64, NO_LABEL, || {
                     setup.buffer.flush()
                 })?;
+            }
+            if let Some(hook) = &self.ingest_hook {
+                // Staged edge deltas are applied exactly here: after the
+                // epoch's flush (so the write-back ledger is drained and the
+                // store's bucket files agree with the in-memory buckets) and
+                // before evaluation and the boundary's checkpoint. The hook
+                // draws no trainer RNG, so the loss trajectory up to this
+                // boundary is identical to a frozen-dataset run's.
+                writeback_safe_point(&setup.buffer)?;
+                span.begin("epoch.ingest", epoch_idx as i64, NO_LABEL);
+                epoch.edges_ingested = hook(&mut setup, epoch_idx)?;
+                span.end();
             }
             epoch.epoch_time = start.elapsed();
 

@@ -12,6 +12,8 @@
 //!   destination, plus per-node offset arrays, so that one-hop neighbours of any
 //!   node set can be sampled in parallel.
 //! * [`partition`] — node partitioning and edge buckets `(i, j)` (paper §3).
+//! * [`temporal`] — chronological edge splits over the implicit generation-order
+//!   timestamps, the substrate for temporal tasks and streaming ingest.
 //! * [`datasets`] — deterministic synthetic generators that stand in for the
 //!   paper's datasets (Table 1), preserving degree distribution shape, feature
 //!   dimension, labeled-node fraction and relation counts at a reduced scale.
@@ -32,11 +34,13 @@ pub mod datasets;
 pub mod edge_list;
 pub mod in_memory;
 pub mod partition;
+pub mod temporal;
 
 pub use csr::Csr;
 pub use edge_list::{Edge, EdgeList};
 pub use in_memory::InMemorySubgraph;
 pub use partition::{EdgeBucket, PartitionAssignment, Partitioner};
+pub use temporal::{chronological_split, observed_nodes, ChronologicalSplit};
 
 /// Node identifier type used across the reproduction.
 pub type NodeId = u64;

@@ -171,7 +171,10 @@ impl Default for PipelineConfig {
 /// epoch boundary this returns immediately; it exists so checkpoint writers
 /// can *assert* the safe point instead of assuming it, and so future partial
 /// (mid-epoch) checkpoints have a primitive that waits for `writeback` to
-/// catch up with `swap`.
+/// catch up with `swap`. The streaming ingest path (`marius-stream`) asserts
+/// it for the same reason before applying staged edge deltas at an epoch
+/// boundary: growing a bucket is only safe once its file and its in-memory
+/// contents agree.
 ///
 /// Errors only if a peer thread panicked while the ledger was locked (see
 /// `WritebackLedger::wait_drained`) — a typed error rather than a cascading

@@ -455,7 +455,10 @@ struct LoadSpec {
 impl LoadSpec {
     fn load(&self) -> Result<Snapshot> {
         let ckpt = Checkpoint::open(&self.root)?;
-        if ckpt.task_slug != "lp" {
+        // Temporal link prediction ("tlp") checkpoints share the
+        // link-prediction layout (embedding table + relation decoder) and
+        // serve identically — streamed train→serve loops rely on this.
+        if ckpt.task_slug != "lp" && ckpt.task_slug != "tlp" {
             return Err(StorageError::checkpoint(format!(
                 "serving requires a link-prediction checkpoint, found task {:?}",
                 ckpt.task_slug

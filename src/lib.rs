@@ -227,6 +227,46 @@
 //! overload sheds with typed [`ServeError`]s — see `marius_serve`'s
 //! "degradation modes & reload semantics" docs.
 //!
+//! # Streaming ingest: a training set that grows mid-run
+//!
+//! [`Session::stream`] closes the loop the other way: instead of a frozen
+//! dataset, a seeded [`EdgeStream`] feeds new edges into the run itself.
+//! Each cycle fine-tunes for K epochs, then (at the write-back safe point of
+//! the epoch boundary) an [`Ingestor`] stages the next N batches as
+//! crash-atomic delta files and applies them to the edge buckets — the next
+//! cycle trains over the grown graph while the
+//! [`TemporalLinkPredictionTask`] keeps evaluating on its frozen
+//! chronological windows. Every checkpoint records the stream cursor, so
+//! [`Session::resume_streamed`] reproduces an interrupted streamed run
+//! bit-for-bit by replaying the stream, and a [`Session::serve_watching`]
+//! server follows the fine-tuned epochs live:
+//!
+//! ```no_run
+//! use marius::graph::datasets::{DatasetSpec, ScaledDataset};
+//! use marius::{
+//!     ModelConfig, Session, Storage, StreamConfig, TemporalLinkPredictionTask, TrainConfig,
+//! };
+//!
+//! # fn main() -> marius::Result<()> {
+//! let data = ScaledDataset::generate(&DatasetSpec::fb15k_237().scaled(0.05), 42);
+//! let mut session = Session::builder()
+//!     .task(TemporalLinkPredictionTask)
+//!     .dataset(data)
+//!     .model(ModelConfig::paper_distmult(32))
+//!     .train(TrainConfig::quick(1, 42)) // epoch target comes from the stream config
+//!     .storage(Storage::Disk(marius::DiskConfig::comet(16, 4)))
+//!     .checkpoint_to("run/checkpoints", 1)
+//!     .build()?;
+//! // 3 cycles × (fine-tune 2 epochs, then ingest 4 batches of 64 edges).
+//! let report = session.stream(StreamConfig::new(7, 64, 4, 2, 3))?;
+//! assert!(report.epochs.iter().any(|e| e.edges_ingested > 0));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `marius_stream` for the ingest atomicity and epoch-boundary
+//! semantics, and `marius_graph::temporal` for the split rules.
+//!
 //! # Workspace map
 //!
 //! * [`tensor`] / [`gnn`] — dense kernels, layers, decoders, optimizers.
@@ -249,6 +289,7 @@ pub use marius_pipeline as pipeline;
 pub use marius_sampling as sampling;
 pub use marius_serve as serve;
 pub use marius_storage as storage;
+pub use marius_stream as stream;
 pub use marius_telemetry as telemetry;
 pub use marius_tensor as tensor;
 
@@ -257,7 +298,7 @@ pub use marius_telemetry::Telemetry;
 pub use marius_core::{
     Checkpoint, DiskConfig, EncoderKind, EpochHook, EpochReport, ExperimentReport,
     LinkPredictionTask, ModelConfig, NodeClassificationTask, Persist, PipelineConfig, PolicyKind,
-    StateDict, Task, TrainConfig, Trainer,
+    StateDict, StreamState, Task, TemporalLinkPredictionTask, TrainConfig, Trainer,
 };
 #[allow(deprecated)]
 pub use marius_core::{LinkPredictionTrainer, NodeClassificationTrainer};
@@ -268,9 +309,11 @@ pub use marius_serve::{
 pub use marius_storage::{
     FaultInjector, IoCostModel, IoFaultPlan, Result, RetryPolicy, StorageError,
 };
+pub use marius_stream::{EdgeStream, Ingestor};
 
 use marius_core::StorageKind;
 use marius_graph::datasets::ScaledDataset;
+use marius_storage::PartitionStore;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -282,6 +325,62 @@ pub enum Storage {
     /// Out-of-core training over a partitioned on-disk layout (M-GNN_Disk),
     /// driven by the disk configuration's replacement policy.
     Disk(DiskConfig),
+}
+
+/// Configuration of a continuous-training loop ([`Session::stream`]): each
+/// cycle fine-tunes for `epochs_per_cycle` epochs, then ingests
+/// `batches_per_cycle` batches of `batch_size` edges from a seeded
+/// [`EdgeStream`] at the epoch boundary's write-back safe point. The final
+/// cycle does not ingest (edges arriving after the last epoch would never be
+/// fine-tuned; they belong to the next [`Session::resume_streamed`] run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Seed of the edge stream (independent of the training seed).
+    pub seed: u64,
+    /// Edges per stream batch.
+    pub batch_size: usize,
+    /// Stream batches ingested at each cycle boundary.
+    pub batches_per_cycle: usize,
+    /// Fine-tuning epochs per cycle.
+    pub epochs_per_cycle: usize,
+    /// Number of ingest→fine-tune cycles (total epochs = `cycles ×
+    /// epochs_per_cycle`, overriding the session's configured epoch count).
+    pub cycles: usize,
+}
+
+impl StreamConfig {
+    /// Creates a stream configuration; see the field docs for the meaning of
+    /// each knob.
+    pub fn new(
+        seed: u64,
+        batch_size: usize,
+        batches_per_cycle: usize,
+        epochs_per_cycle: usize,
+        cycles: usize,
+    ) -> Self {
+        StreamConfig {
+            seed,
+            batch_size,
+            batches_per_cycle,
+            epochs_per_cycle,
+            cycles,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.batch_size == 0
+            || self.batches_per_cycle == 0
+            || self.epochs_per_cycle == 0
+            || self.cycles == 0
+        {
+            return Err(StorageError::InvalidPlan {
+                reason: "StreamConfig requires non-zero batch_size, batches_per_cycle, \
+                         epochs_per_cycle and cycles"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Builder for [`Session`]. Obtain one with [`Session::builder`].
@@ -615,6 +714,59 @@ impl<T: Task + Default> Session<T> {
         Ok(report)
     }
 
+    /// Rebuilds an interrupted *streamed* run ([`Session::stream`]) from the
+    /// newest checkpoint under `path`. On top of [`Session::resume_from`]
+    /// semantics, the manifest's stream cursor is replayed: the base dataset
+    /// is regenerated from its spec and seed, every already-applied stream
+    /// batch is re-derived from `(config.seed, batch index)` and appended to
+    /// the edge list, and the ingest hook is re-armed at the cursor — so the
+    /// resumed loop continues ingesting and fine-tuning exactly where the
+    /// interrupted one stopped, with a bit-identical trajectory.
+    ///
+    /// `config` carries the original run's stream geometry (it is not
+    /// recorded in the manifest): the seed and batch size are checked
+    /// against the checkpointed cursor, and the run's epoch target becomes
+    /// `cycles × epochs_per_cycle` — equal to the original target to finish
+    /// an interrupted loop bit-exactly, or larger to extend a finished one
+    /// with further cycles ([`Session::resume_from_until`] semantics; a
+    /// target below the checkpointed progress is rejected). A checkpoint
+    /// without a stream cursor (a frozen-dataset run) is rejected — use
+    /// [`Session::resume_from`] for those.
+    pub fn resume_streamed(path: impl AsRef<Path>, config: StreamConfig) -> Result<Session<T>> {
+        config.validate()?;
+        let path = path.as_ref();
+        let ckpt = Checkpoint::open(path)?;
+        let cursor = ckpt.stream.ok_or_else(|| {
+            StorageError::checkpoint(format!(
+                "checkpoint at {} records no stream cursor; use Session::resume_from",
+                path.display()
+            ))
+        })?;
+        let total = config.cycles * config.epochs_per_cycle;
+        drop(ckpt);
+        let mut session = Self::resume(path, Some(total), None, None, Telemetry::disabled())?;
+        let stream = EdgeStream::new(
+            config.seed,
+            session.data.num_nodes(),
+            session.data.spec.num_relations,
+            config.batch_size,
+        );
+        // Replay the stream up to the cursor: the grown edge list makes the
+        // construction replay inside train_disk rebuild the same buckets the
+        // uninterrupted run grew incrementally (chronological split: base
+        // train ++ streamed edges, in time order).
+        for k in 0..cursor.batches_applied {
+            for edge in stream.batch(k) {
+                session.data.graph.push(edge).map_err(|e| {
+                    StorageError::checkpoint(format!("stream replay produced an invalid edge: {e}"))
+                })?;
+            }
+        }
+        let ingestor = session.make_ingestor(stream)?.resume_at(cursor)?;
+        session.arm_stream(ingestor, &config);
+        Ok(session)
+    }
+
     fn resume(
         path: impl AsRef<Path>,
         epochs: Option<usize>,
@@ -675,6 +827,84 @@ impl<T: Task + Default> Session<T> {
 }
 
 impl<T: Task> Session<T> {
+    /// Runs the continuous-training loop: per cycle, fine-tune
+    /// `epochs_per_cycle` epochs, then ingest `batches_per_cycle` seeded
+    /// stream batches at the epoch boundary (write-back safe point), so the
+    /// next cycle trains over the grown edge set. Requires disk storage; the
+    /// session's total epoch target becomes `cycles × epochs_per_cycle`.
+    ///
+    /// Checkpoints written during the loop record the stream cursor, making
+    /// the run resumable with [`Session::resume_streamed`] and followable by
+    /// a [`Session::serve_watching`] server. Use the
+    /// [`TemporalLinkPredictionTask`]: its chronological split derives the
+    /// training set from the full timestamped edge list, which is what makes
+    /// a resumed run's bucket rebuild agree bit-for-bit with the
+    /// uninterrupted run's incremental delta application (tasks whose train
+    /// split ignores streamed edges would train on them mid-run but lose
+    /// them on resume).
+    ///
+    /// The loop is deterministic end to end: the stream is a pure function
+    /// of `(config.seed, batch index)`, ingest consumes no trainer RNG, and
+    /// application happens outside the seeded epoch executors — so streamed
+    /// runs are bit-identical across reruns and across the sequential and
+    /// pipelined executors, exactly like frozen-dataset runs.
+    pub fn stream(&mut self, config: StreamConfig) -> Result<ExperimentReport> {
+        config.validate()?;
+        if !matches!(self.storage, Storage::Disk(_)) {
+            return Err(StorageError::InvalidPlan {
+                reason: "Session::stream requires out-of-core storage (Storage::Disk)".into(),
+            });
+        }
+        self.trainer.train.epochs = config.cycles * config.epochs_per_cycle;
+        let stream = EdgeStream::new(
+            config.seed,
+            self.data.num_nodes(),
+            self.data.spec.num_relations,
+            config.batch_size,
+        );
+        let ingestor = self.make_ingestor(stream)?;
+        self.arm_stream(ingestor, &config);
+        self.train()
+    }
+
+    /// Builds the staging-side [`Ingestor`] for `stream`, wiring the
+    /// session's fault injector, retry policy and telemetry into the delta
+    /// staging store so ingest IO degrades (and is observed) exactly like
+    /// training IO.
+    fn make_ingestor(&self, stream: EdgeStream) -> Result<Ingestor> {
+        let staging = PartitionStore::open_temp(&format!("stream-staging-{}", stream.seed()))?;
+        staging.clear()?;
+        let staging = match self.trainer.fault_injector() {
+            Some(injector) => staging.with_fault_injector(Arc::clone(injector)),
+            None => staging,
+        };
+        let staging = match self.retry {
+            Some(policy) => staging.with_retry_policy(policy),
+            None => staging,
+        };
+        let staging = staging.with_telemetry(self.trainer.telemetry());
+        Ok(Ingestor::new(stream, staging).with_telemetry(self.trainer.telemetry()))
+    }
+
+    /// Arms the trainer's ingest hook and stream cursor for a continuous
+    /// loop: ingest fires at every `epochs_per_cycle`-th epoch boundary
+    /// except the final one. Boundaries are indexed absolutely, so a resumed
+    /// run ingests at the same epochs the uninterrupted run did.
+    fn arm_stream(&mut self, ingestor: Ingestor, config: &StreamConfig) {
+        let total = self.trainer.train.epochs;
+        let per_cycle = config.epochs_per_cycle;
+        let batches = config.batches_per_cycle;
+        self.trainer.set_stream_state(ingestor.state_handle());
+        let ingestor = Arc::new(ingestor);
+        self.trainer.set_ingest_hook(move |setup, epoch_idx| {
+            if (epoch_idx + 1).is_multiple_of(per_cycle) && epoch_idx + 1 < total {
+                ingestor.ingest(setup, batches)
+            } else {
+                Ok(0)
+            }
+        });
+    }
+
     /// Trains per the session's configuration and returns (and caches) the
     /// experiment report.
     pub fn train(&mut self) -> Result<ExperimentReport> {
